@@ -1,0 +1,238 @@
+package debugdet
+
+import (
+	"io"
+	"testing"
+
+	"debugdet/internal/core"
+	"debugdet/internal/eval"
+	"debugdet/internal/race"
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+	"debugdet/internal/workload"
+)
+
+// The benchmarks below regenerate the paper's evaluation artifacts (one
+// bench per figure/table; see the experiment index in DESIGN.md §3) and
+// measure the framework's own building blocks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure/table benches report the wall-clock cost of regenerating each
+// artifact end to end; cmd/figures prints the artifacts themselves.
+
+// benchOpts keeps figure benches affordable while preserving every
+// qualitative outcome (verified by the eval tests).
+var benchOpts = eval.Options{ReplayBudget: 120}
+
+// BenchmarkFig1 regenerates Figure 1: every determinism model over the
+// whole scenario corpus, with DF/DE/DU aggregation.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Fig1(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("fig1 rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: the Hypertable data-loss case study
+// under value, failure, RCSE (plus reference models).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := eval.Fig2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 5 {
+			b.Fatalf("fig2 cells = %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkTableDF regenerates the §4 fidelity table (T-DF); it shares
+// Fig. 2's cells, so this measures the three paper models only.
+func BenchmarkTableDF(b *testing.B) {
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, m := range []record.Model{record.Value, record.Failure, record.DebugRCSE} {
+			if _, err := core.Evaluate(s, m, core.Options{ReplayBudget: benchOpts.ReplayBudget}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTableOverhead regenerates the §4 recording-overhead comparison
+// (T-OVH): recording cost only, no replay.
+func BenchmarkTableOverhead(b *testing.B) {
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, m := range []record.Model{record.Value, record.Failure} {
+			if _, _, err := record.Record(s, m, s.DefaultSeed, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTablePlane regenerates the classification-accuracy table
+// (T-PLANE).
+func BenchmarkTablePlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TablePlane(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no plane rows")
+		}
+	}
+}
+
+// BenchmarkTableDU regenerates the DU table's shrink row (T-DU):
+// ESD-style execution synthesis with reduced parameters.
+func BenchmarkTableDU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ShrinkCell(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableTriggers regenerates the §3.1 selector ablation (T-TRIG).
+func BenchmarkTableTriggers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TableTriggers(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no trigger rows")
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkVMThroughput measures raw VM event throughput (two threads
+// hammering a shared counter, no recording, no trace collection).
+func BenchmarkVMThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(vm.Config{Seed: int64(i), CollectTrace: false})
+		c := m.NewCell("c", trace.Int(0))
+		s := m.Site("s")
+		sp := m.Site("spawn")
+		w := func(t *vm.Thread) {
+			for j := 0; j < 500; j++ {
+				v := t.Load(s, c)
+				t.Store(s, c, trace.Int(v.AsInt()+1))
+			}
+		}
+		res := m.Run(func(t *vm.Thread) {
+			t.Spawn(sp, "a", w)
+			t.Spawn(sp, "b", w)
+		})
+		if res.Outcome != vm.OutcomeOK {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkRecorderPerEvent measures the recorder fast path for each
+// stock policy over a synthetic event stream.
+func BenchmarkRecorderPerEvent(b *testing.B) {
+	models := []record.Model{record.Perfect, record.Value, record.Output, record.Failure}
+	for _, model := range models {
+		model := model
+		b.Run(model.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			m := vm.New(vm.Config{})
+			rec := record.NewRecorder(m, record.PolicyFor(model))
+			e := trace.Event{Kind: trace.EvStore, TID: 1, Site: 2, Obj: 3, Val: trace.Int(42)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Seq = uint64(i)
+				rec.OnEvent(&e)
+			}
+		})
+	}
+}
+
+// BenchmarkRaceDetector measures happens-before analysis over a recorded
+// racy trace.
+func BenchmarkRaceDetector(b *testing.B) {
+	s, err := workload.ByName("bank")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := s.Exec(scenario.ExecOptions{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		race.Analyze(v.Trace)
+	}
+}
+
+// BenchmarkCodecEncode measures trace-log serialization throughput.
+func BenchmarkCodecEncode(b *testing.B) {
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := s.Exec(scenario.ExecOptions{Seed: 19})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Encode(io.Discard, v.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHyperKVRun measures one full cluster execution (the Fig. 2
+// workload) without any recording attached.
+func BenchmarkHyperKVRun(b *testing.B) {
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := s.Exec(scenario.ExecOptions{Seed: 19})
+		if v.Result.Steps == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkPerfectReplay measures deterministic replay of a perfect
+// recording of the case-study workload.
+func BenchmarkPerfectReplay(b *testing.B) {
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, _, err := Record(s, Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Replay(s, rec, ReplayOptions{})
+		if !res.Ok {
+			b.Fatalf("replay failed: %s", res.Note)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command figures regenerates the paper's figures and tables (see the
+// experiment index in DESIGN.md) and prints them as text. EXPERIMENTS.md
+// records this command's output next to the paper's numbers.
+//
+// Usage:
+//
+//	figures -all
+//	figures -fig 1
+//	figures -fig 2
+//	figures -table df|overhead|plane|du|triggers
+//	figures -budget 100           # bound inference attempts per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"debugdet/internal/eval"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1 or 2)")
+	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers)")
+	all := flag.Bool("all", false, "regenerate everything")
+	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
+	flag.Parse()
+
+	o := eval.Options{ReplayBudget: *budget}
+	if !*all && *fig == 0 && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	var fig2Cells []eval.Cell
+	needFig2 := *all || *fig == 2 || *table == "df" || *table == "overhead"
+	if needFig2 {
+		run("fig2", func() error {
+			cells, err := eval.Fig2(o)
+			fig2Cells = cells
+			return err
+		})
+	}
+
+	if *all || *fig == 1 || *table == "du" {
+		var rows []eval.Fig1Row
+		run("fig1", func() error {
+			r, err := eval.Fig1(o)
+			rows = r
+			return err
+		})
+		if *all || *fig == 1 {
+			fmt.Println(eval.RenderFig1(rows))
+		}
+		if *all || *table == "du" {
+			var shrink eval.Cell
+			run("shrink", func() error {
+				c, err := eval.ShrinkCell(o)
+				shrink = c
+				return err
+			})
+			fmt.Println(eval.TableDU(rows, shrink))
+		}
+	}
+	if *all || *fig == 2 {
+		fmt.Println(eval.RenderFig2(fig2Cells))
+	}
+	if *all || *table == "df" {
+		fmt.Println(eval.TableDF(fig2Cells))
+	}
+	if *all || *table == "overhead" {
+		fmt.Println(eval.TableOverhead(fig2Cells))
+	}
+	if *all || *table == "plane" {
+		run("plane", func() error {
+			rows, err := eval.TablePlane(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.RenderTablePlane(rows))
+			return nil
+		})
+	}
+	if *all || *table == "triggers" {
+		run("triggers", func() error {
+			rows, err := eval.TableTriggers(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.RenderTableTriggers(rows))
+			return nil
+		})
+	}
+}

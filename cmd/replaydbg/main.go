@@ -1,0 +1,203 @@
+// Command replaydbg is the replay debugger's CLI: record a scenario under
+// a determinism model, replay a recording, or run the full evaluation
+// pipeline with metrics.
+//
+// Usage:
+//
+//	replaydbg list
+//	replaydbg record -scenario overflow -model perfect -seed 2 -out run.ddrc
+//	replaydbg replay -scenario overflow -in run.ddrc
+//	replaydbg eval   -scenario hyperkv-dataloss -model debug-rcse
+//	replaydbg show   -in run.ddrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"debugdet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scenarioName := fs.String("scenario", "", "scenario name (see 'replaydbg list')")
+	modelName := fs.String("model", "perfect", "determinism model")
+	seed := fs.Int64("seed", 0, "scheduler seed (0 = scenario default)")
+	out := fs.String("out", "", "recording output path")
+	in := fs.String("in", "", "recording input path")
+	budget := fs.Int("budget", 200, "inference budget for relaxed-model replay")
+	fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "list":
+		for _, s := range debugdet.Scenarios() {
+			fmt.Printf("%-18s seed=%-4d %s\n", s.Name, s.DefaultSeed, s.Description)
+		}
+	case "record":
+		runRecord(*scenarioName, *modelName, *seed, *out)
+	case "replay":
+		runReplay(*scenarioName, *in, *budget)
+	case "eval":
+		runEval(*scenarioName, *modelName, *seed, *budget)
+	case "causes":
+		runCauses(*scenarioName, *budget)
+	case "show":
+		runShow(*in)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: replaydbg <list|record|replay|eval|causes|show> [flags]")
+}
+
+// runCauses implements the paper's §5 extension: enumerate every root
+// cause that can explain the scenario's failure, from the signature alone.
+func runCauses(scenarioName string, budget int) {
+	s := mustScenario(scenarioName)
+	// Obtain the signature the way failure determinism would: from the
+	// recorded failing run's bug report.
+	rec, _, err := debugdet.Record(s, debugdet.Failure, s.DefaultSeed, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if !rec.Failed {
+		fatal(fmt.Errorf("default seed does not fail; nothing to explain"))
+	}
+	fmt.Printf("failure signature: %q\n", rec.FailureSig)
+	ex := debugdet.ExploreCauses(s, rec.FailureSig, debugdet.Options{ReplayBudget: budget})
+	fmt.Println(ex.Summary())
+	for id, v := range ex.Found {
+		fmt.Printf("  %-18s synthesized in %d steps (outcome %s)\n",
+			id, v.Result.Steps, v.Result.Outcome)
+	}
+	for _, id := range ex.Missing {
+		fmt.Printf("  %-18s NOT reachable within budget\n", id)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replaydbg:", err)
+	os.Exit(1)
+}
+
+func mustScenario(name string) *debugdet.Scenario {
+	if name == "" {
+		fatal(fmt.Errorf("missing -scenario"))
+	}
+	s, err := debugdet.ScenarioByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func runRecord(scenarioName, modelName string, seed int64, out string) {
+	s := mustScenario(scenarioName)
+	model, err := debugdet.ParseModel(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	if seed == 0 {
+		seed = s.DefaultSeed
+	}
+	rec, view, err := debugdet.Record(s, model, seed, nil)
+	if err != nil {
+		fatal(err)
+	}
+	failed, sig := s.Failure.Check(view)
+	fmt.Printf("recorded: %s\n", rec.Summary())
+	fmt.Printf("original run: outcome=%s failed=%v sig=%q causes=%v\n",
+		view.Result.Outcome, failed, sig, s.PresentCauses(view))
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := debugdet.SaveRecording(f, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func runReplay(scenarioName, in string, budget int) {
+	if in == "" {
+		fatal(fmt.Errorf("missing -in recording path"))
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rec, err := debugdet.LoadRecording(f)
+	if err != nil {
+		fatal(err)
+	}
+	name := scenarioName
+	if name == "" {
+		name = rec.Scenario
+	}
+	s := mustScenario(name)
+	res := debugdet.Replay(s, rec, debugdet.ReplayOptions{Budget: budget})
+	fmt.Printf("replay: ok=%v attempts=%d note=%s\n", res.Ok, res.Attempts, res.Note)
+	if res.View != nil {
+		failed, sig := s.Failure.Check(res.View)
+		fmt.Printf("replayed run: outcome=%s failed=%v sig=%q causes=%v\n",
+			res.View.Result.Outcome, failed, sig, s.PresentCauses(res.View))
+	}
+}
+
+func runEval(scenarioName, modelName string, seed int64, budget int) {
+	s := mustScenario(scenarioName)
+	model, err := debugdet.ParseModel(modelName)
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := debugdet.Evaluate(s, model, debugdet.Options{
+		Seed:         seed,
+		ReplayBudget: budget,
+		RCSE:         debugdet.RCSEOptions{RaceTrigger: true},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(ev.Summary())
+	fmt.Printf("recording: %s\n", ev.Recording.Summary())
+	fmt.Printf("fidelity:  %s\n", ev.Fidelity)
+	fmt.Printf("replay:    ok=%v note=%s\n", ev.Replay.Ok, ev.Replay.Note)
+}
+
+func runShow(in string) {
+	if in == "" {
+		fatal(fmt.Errorf("missing -in recording path"))
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rec, err := debugdet.LoadRecording(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rec.Summary())
+	fmt.Printf("streams: %v\n", rec.Streams)
+	fmt.Printf("first events (of %d):\n", len(rec.Full))
+	for i, e := range rec.Full {
+		if i >= 20 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", e)
+	}
+}

@@ -1,0 +1,129 @@
+// Package debugdet is a replay-debugging framework built around the debug
+// determinism model of Zamfir, Altekar, Candea and Stoica, "Debug
+// Determinism: The Sweet Spot for Replay-Based Debugging" (HotOS 2011).
+//
+// The library implements the full determinism-relaxation spectrum the
+// paper surveys — perfect, value (iDNA), output (ODR), failure (ESD) — and
+// the paper's proposal: debug determinism achieved through root
+// cause-driven selectivity (RCSE), which records the portions of an
+// execution likely to contain a future failure's root cause at full
+// fidelity while relaxing everything else. It also implements the §3.2
+// debugging-utility metrics (fidelity, efficiency, utility) and ships the
+// scenario corpus the paper discusses, including a Hypertable-like
+// distributed key-value store with the issue-63 data-loss race of the §4
+// case study.
+//
+// Everything runs on a deterministic virtual machine (internal/vm):
+// programs written against its thread API have every shared-state
+// operation interposed, so executions are bit-reproducible from a seed —
+// the property recorders and replayers need and a native Go scheduler
+// cannot provide.
+//
+// # Quick start
+//
+//	s, _ := debugdet.ScenarioByName("overflow")
+//	ev, _ := debugdet.Evaluate(s, debugdet.Perfect, debugdet.Options{})
+//	fmt.Println(ev.Summary())
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// architecture and the experiment index.
+package debugdet
+
+import (
+	"io"
+
+	"debugdet/internal/core"
+	"debugdet/internal/record"
+	"debugdet/internal/replay"
+	"debugdet/internal/scenario"
+	"debugdet/internal/workload"
+)
+
+// Re-exported model identifiers, in the chronological order of the paper's
+// Fig. 1.
+const (
+	Perfect   = record.Perfect
+	Value     = record.Value
+	Output    = record.Output
+	Failure   = record.Failure
+	DebugRCSE = record.DebugRCSE
+)
+
+// Core types, re-exported for the public API surface.
+type (
+	// Scenario describes a reproducible buggy program: its build
+	// function, environment, failure specification and root causes.
+	Scenario = scenario.Scenario
+	// Params are scenario parameters.
+	Params = scenario.Params
+	// RunView is a finished execution as predicates and analyses see it.
+	RunView = scenario.RunView
+	// Model identifies a determinism model.
+	Model = record.Model
+	// Recording is the persisted artifact of a recorded production run.
+	Recording = record.Recording
+	// ReplayResult is a finished replay.
+	ReplayResult = replay.Result
+	// ReplayOptions bounds replay inference.
+	ReplayOptions = replay.Options
+	// Evaluation is a complete record→replay→metrics result.
+	Evaluation = core.Evaluation
+	// Options parameterizes an evaluation.
+	Options = core.Options
+	// RCSEOptions selects RCSE heuristics.
+	RCSEOptions = core.RCSEOptions
+)
+
+// Models lists every determinism model.
+func Models() []Model { return record.AllModels() }
+
+// ParseModel resolves a model name ("perfect", "value", "output",
+// "failure", "debug-rcse").
+func ParseModel(name string) (Model, error) { return record.ParseModel(name) }
+
+// Scenarios returns the built-in corpus: the paper's motivating examples
+// (sum, overflow, msgdrop), the §4 Hypertable case study, and breadth
+// scenarios (bank, deadlock).
+func Scenarios() []*Scenario { return workload.All() }
+
+// ScenarioNames lists the built-in scenario names.
+func ScenarioNames() []string { return workload.Names() }
+
+// ScenarioByName resolves a built-in scenario (including variants such as
+// "hyperkv-fixed").
+func ScenarioByName(name string) (*Scenario, error) { return workload.ByName(name) }
+
+// Record runs the scenario once under the model's recorder and returns the
+// recording together with the original run. For DebugRCSE use Evaluate
+// (which performs the profiling and training RCSE needs) or assemble a
+// policy with the internal rcse package.
+func Record(s *Scenario, model Model, seed int64, params Params) (*Recording, *RunView, error) {
+	return record.Record(s, model, seed, params)
+}
+
+// Replay reconstructs an execution from a recording under the recording's
+// model semantics.
+func Replay(s *Scenario, rec *Recording, o ReplayOptions) *ReplayResult {
+	return replay.Replay(s, rec, o)
+}
+
+// Evaluate runs the full pipeline — record, replay, metrics — for one
+// scenario under one model.
+func Evaluate(s *Scenario, model Model, o Options) (*Evaluation, error) {
+	return core.Evaluate(s, model, o)
+}
+
+// ExploreCauses implements the paper's §5 extension: starting from only a
+// failure signature (what failure determinism records), synthesize one
+// execution per declared root cause that can explain the failure. The
+// returned exploration reports which explanations were reachable within
+// the budget.
+func ExploreCauses(s *Scenario, signature string, o Options) *core.CauseExploration {
+	return core.ExploreCauses(s, signature, o)
+}
+
+// SaveRecording writes a recording in the binary format.
+func SaveRecording(w io.Writer, rec *Recording) error { return rec.Save(w) }
+
+// LoadRecording reads a recording written by SaveRecording.
+func LoadRecording(r io.Reader) (*Recording, error) { return record.Load(r) }

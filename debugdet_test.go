@@ -1,0 +1,117 @@
+package debugdet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The root-package tests exercise the public API exactly as a downstream
+// user would: catalog discovery, record, persist, replay, evaluate.
+
+func TestPublicCatalog(t *testing.T) {
+	if len(Scenarios()) < 6 {
+		t.Fatalf("catalog has %d scenarios", len(Scenarios()))
+	}
+	names := ScenarioNames()
+	if len(names) != len(Scenarios()) {
+		t.Fatal("names and scenarios disagree")
+	}
+	for _, n := range names {
+		if _, err := ScenarioByName(n); err != nil {
+			t.Fatalf("ScenarioByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ScenarioByName("bogus"); err == nil {
+		t.Fatal("accepted bogus name")
+	}
+}
+
+func TestPublicModels(t *testing.T) {
+	if len(Models()) != 5 {
+		t.Fatalf("models = %d", len(Models()))
+	}
+	m, err := ParseModel("debug-rcse")
+	if err != nil || m != DebugRCSE {
+		t.Fatalf("ParseModel: %v %v", m, err)
+	}
+}
+
+func TestPublicRecordReplayLoop(t *testing.T) {
+	s, err := ScenarioByName("overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, orig, err := Record(s, Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed, _ := s.Failure.Check(orig); !failed {
+		t.Fatal("default overflow seed did not crash")
+	}
+
+	var buf bytes.Buffer
+	if err := SaveRecording(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := Replay(s, loaded, ReplayOptions{})
+	if !res.Ok {
+		t.Fatalf("replay failed: %s", res.Note)
+	}
+	if failed, sig := s.Failure.Check(res.View); !failed || sig != "overflow:segfault" {
+		t.Fatalf("replayed failure identity: %v/%q", failed, sig)
+	}
+}
+
+func TestPublicEvaluate(t *testing.T) {
+	s, err := ScenarioByName("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(s, DebugRCSE, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Utility.DF != 1 {
+		t.Fatalf("sum under RCSE: DF = %v", ev.Utility.DF)
+	}
+	if ev.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestHeadlineResult is the repository's one-line claim: on the paper's
+// case study, debug determinism achieves value-determinism fidelity at
+// near-failure-determinism cost.
+func TestHeadlineResult(t *testing.T) {
+	s, err := ScenarioByName("hyperkv-dataloss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcse, err := Evaluate(s, DebugRCSE, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	value, err := Evaluate(s, Value, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failure, err := Evaluate(s, Failure, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcse.Utility.DF != value.Utility.DF {
+		t.Fatalf("RCSE fidelity %v != value fidelity %v", rcse.Utility.DF, value.Utility.DF)
+	}
+	if rcse.Utility.DF <= failure.Utility.DF {
+		t.Fatalf("RCSE fidelity %v not above failure fidelity %v", rcse.Utility.DF, failure.Utility.DF)
+	}
+	if (rcse.Overhead-1.0)*3 > (value.Overhead - 1.0) {
+		t.Fatalf("RCSE overhead %.2fx is not well below value determinism's %.2fx",
+			rcse.Overhead, value.Overhead)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: record a crashing production run under perfect determinism,
+// persist the recording, load it back, and replay it — the classic
+// record/replay loop a developer starts from.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"debugdet"
+)
+
+func main() {
+	// The overflow scenario is the paper's §3 example: a server copies
+	// requests into a fixed buffer without a length check; an oversized
+	// request crashes it.
+	s, err := debugdet.ScenarioByName("overflow")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record a production run that crashes. Perfect determinism persists
+	// every event: expensive (≈3x runtime) but replayable in one shot.
+	rec, orig, err := debugdet.Record(s, debugdet.Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed, sig := s.Failure.Check(orig)
+	fmt.Printf("original run: outcome=%-8s failed=%v sig=%q\n", orig.Result.Outcome, failed, sig)
+	fmt.Printf("recording:    %s\n", rec.Summary())
+
+	// Recordings round-trip through a compact binary format.
+	var buf bytes.Buffer
+	if err := debugdet.SaveRecording(&buf, rec); err != nil {
+		log.Fatal(err)
+	}
+	persisted := buf.Len()
+	loaded, err := debugdet.LoadRecording(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted:    %d bytes on disk\n", persisted)
+
+	// Replay: the forced schedule and forced inputs reproduce the crash
+	// deterministically.
+	res := debugdet.Replay(s, loaded, debugdet.ReplayOptions{})
+	if !res.Ok || res.View == nil {
+		log.Fatalf("replay failed: %s", res.Note)
+	}
+	rFailed, rSig := s.Failure.Check(res.View)
+	fmt.Printf("replayed run: outcome=%-8s failed=%v sig=%q (%s)\n",
+		res.View.Result.Outcome, rFailed, rSig, res.Note)
+	fmt.Printf("root causes in replay: %v\n", s.PresentCauses(res.View))
+}

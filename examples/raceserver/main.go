@@ -1,0 +1,50 @@
+// The §2 message-drop server: how over-relaxed replay deceives the
+// developer. The server's true defect is a race on the receive buffer, but
+// the same "messages lost" symptom can arise from network congestion —
+// which is outside the developer's control. A failure-deterministic
+// replayer only promises the same failure, so it may synthesize the
+// congestion explanation and the real bug survives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"debugdet"
+)
+
+func main() {
+	s, err := debugdet.ScenarioByName("msgdrop")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The original production run: the race loses messages, the network
+	// behaves.
+	origEv, err := debugdet.Evaluate(s, debugdet.Failure, debugdet.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("original failing run’s root causes: ", origEv.Fidelity.OrigCauses)
+	fmt.Println("failure-deterministic replay found:  ", origEv.Fidelity.ReplayCauses)
+	fmt.Printf("debugging fidelity: DF = %.2f (two possible root causes)\n\n", origEv.Utility.DF)
+
+	// Debug determinism on the same run: the forced thread schedule pins
+	// the racy interleaving; the recorded control inputs pin the
+	// network's behaviour. The race is reproduced, not guessed.
+	rcseEv, err := debugdet.Evaluate(s, debugdet.DebugRCSE, debugdet.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("debug-deterministic replay found:    ", rcseEv.Fidelity.ReplayCauses)
+	fmt.Printf("debugging fidelity: DF = %.2f at %.2fx recording overhead (vs %.2fx for value determinism)\n",
+		rcseEv.Utility.DF, rcseEv.Overhead, valueOverhead(s))
+}
+
+func valueOverhead(s *debugdet.Scenario) float64 {
+	ev, err := debugdet.Evaluate(s, debugdet.Value, debugdet.Options{})
+	if err != nil {
+		return 0
+	}
+	return ev.Overhead
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"debugdet/internal/infer"
+	"debugdet/internal/scenario"
+)
+
+// CauseExploration is the result of the §5 extension: for a recorded
+// failure signature, one synthesized execution per root cause that can
+// explain it. The paper poses this as the ideal beyond debug determinism —
+// "a system that records just the failure and finds all root
+// cause-equivalent executions that exhibit the failure" — and notes the
+// challenge is scale; the exploration shares one search budget across
+// causes and reports what it could and could not reach.
+type CauseExploration struct {
+	Signature string
+	// Found maps root-cause ID → a synthesized execution exhibiting the
+	// failure through that cause.
+	Found map[string]*scenario.RunView
+	// Missing lists causes the budget could not synthesize. A cause can
+	// be missing either because it cannot produce this signature or
+	// because the search ran dry — the report cannot distinguish, which
+	// is exactly the scaling challenge the paper names.
+	Missing []string
+	// Attempts and WorkSteps account the total search effort.
+	Attempts  int
+	WorkSteps uint64
+}
+
+// Summary renders the exploration.
+func (c *CauseExploration) Summary() string {
+	var found []string
+	for id := range c.Found {
+		found = append(found, id)
+	}
+	sort.Strings(found)
+	return fmt.Sprintf("sig=%q found=[%s] missing=[%s] attempts=%d",
+		c.Signature, strings.Join(found, ","), strings.Join(c.Missing, ","), c.Attempts)
+}
+
+// ExploreCauses synthesizes, for each of the scenario's declared root
+// causes, an execution that exhibits the given failure signature through
+// that cause. It needs nothing but the failure signature — the
+// failure-determinism recording — making it the "record just the failure,
+// then enumerate explanations" workflow of §5.
+func ExploreCauses(s *scenario.Scenario, signature string, o Options) *CauseExploration {
+	o = o.withDefaults()
+	out := &CauseExploration{
+		Signature: signature,
+		Found:     make(map[string]*scenario.RunView),
+	}
+	perCause := o.ReplayBudget
+	for i, rc := range s.RootCauses {
+		rc := rc
+		res := infer.Search(s, func(v *scenario.RunView) bool {
+			failed, sig := s.CheckFailure(v)
+			return failed && sig == signature && rc.Present(v)
+		}, infer.Options{
+			Budget:   perCause,
+			BaseSeed: o.SearchSeed + int64(i)*1000003,
+			Params:   o.Params,
+			MaxSteps: o.MaxSteps,
+		})
+		out.Attempts += res.Attempts
+		out.WorkSteps += res.WorkSteps
+		if res.Ok {
+			out.Found[rc.ID] = res.View
+		} else {
+			out.Missing = append(out.Missing, rc.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"debugdet/internal/workload"
+)
+
+// TestExploreCausesFindsAllThreeHypertableExplanations exercises the §5
+// extension: starting from nothing but the failure signature, the
+// exploration synthesizes an execution for every possible root cause of
+// the data loss — the race, the slave crash, and the client OOM.
+func TestExploreCausesFindsAllThreeHypertableExplanations(t *testing.T) {
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := ExploreCauses(s, "hyperkv:dataloss", Options{ReplayBudget: 250})
+	for _, want := range []string{"migration-race", "slave-crash", "client-oom"} {
+		v, ok := ex.Found[want]
+		if !ok {
+			t.Fatalf("cause %q not synthesized (%s)", want, ex.Summary())
+		}
+		failed, sig := s.CheckFailure(v)
+		if !failed || sig != "hyperkv:dataloss" {
+			t.Fatalf("synthesized run for %q has wrong identity: %v/%q", want, failed, sig)
+		}
+		present := false
+		for _, c := range s.PresentCauses(v) {
+			if c == want {
+				present = true
+			}
+		}
+		if !present {
+			t.Fatalf("synthesized run for %q does not exhibit it: %v", want, s.PresentCauses(v))
+		}
+	}
+	if len(ex.Missing) != 0 {
+		t.Fatalf("missing causes: %v", ex.Missing)
+	}
+}
+
+// TestExploreCausesReportsUnreachable: causes that cannot produce the
+// signature stay in Missing rather than being faked.
+func TestExploreCausesReportsUnreachable(t *testing.T) {
+	s, err := workload.ByName("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := ExploreCauses(s, "sum:no-such-signature", Options{ReplayBudget: 10})
+	if len(ex.Found) != 0 {
+		t.Fatalf("synthesized an impossible signature: %s", ex.Summary())
+	}
+	if len(ex.Missing) != len(s.RootCauses) {
+		t.Fatalf("missing = %v", ex.Missing)
+	}
+}

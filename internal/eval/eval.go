@@ -1,0 +1,366 @@
+// Package eval is the experiment harness: it regenerates every figure and
+// table of the paper's evaluation (see DESIGN.md §3 for the experiment
+// index). Each experiment returns structured rows and has a text renderer
+// that prints the series the paper plots.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"debugdet/internal/core"
+	"debugdet/internal/plane"
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/workload"
+)
+
+// Options tunes experiment cost. The defaults match EXPERIMENTS.md.
+type Options struct {
+	// ReplayBudget bounds inference attempts per cell (default 200).
+	ReplayBudget int
+	// Scenarios restricts the corpus (nil = all).
+	Scenarios []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReplayBudget == 0 {
+		o.ReplayBudget = 200
+	}
+	return o
+}
+
+// corpus resolves the scenario list.
+func (o Options) corpus() []*scenario.Scenario {
+	all := workload.All()
+	if len(o.Scenarios) == 0 {
+		return all
+	}
+	want := make(map[string]bool, len(o.Scenarios))
+	for _, n := range o.Scenarios {
+		want[n] = true
+	}
+	var out []*scenario.Scenario
+	for _, s := range all {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Cell is one (scenario, model) measurement.
+type Cell struct {
+	Scenario string
+	Model    record.Model
+	Overhead float64
+	LogBytes int64
+	DF       float64
+	DE       float64
+	DU       float64
+	Attempts int
+	// OrigCause and ReplayCause summarize the fidelity evidence.
+	OrigCause   string
+	ReplayCause string
+}
+
+func cellOf(ev *core.Evaluation) Cell {
+	return Cell{
+		Scenario:    ev.Scenario,
+		Model:       ev.Model,
+		Overhead:    ev.Overhead,
+		LogBytes:    ev.LogBytes,
+		DF:          ev.Utility.DF,
+		DE:          ev.Utility.DE,
+		DU:          ev.Utility.DU,
+		Attempts:    ev.Replay.Attempts,
+		OrigCause:   strings.Join(ev.Fidelity.OrigCauses, ","),
+		ReplayCause: strings.Join(ev.Fidelity.ReplayCauses, ","),
+	}
+}
+
+// runCell evaluates one (scenario, model) pair with the harness defaults.
+// RCSE cells use code-based selection alone, matching §4 ("RCSE based on
+// control-plane code selection"); the trigger variants are measured
+// separately in the T-TRIG ablation.
+func runCell(s *scenario.Scenario, model record.Model, o Options) (Cell, error) {
+	ev, err := core.Evaluate(s, model, core.Options{
+		ReplayBudget: o.ReplayBudget,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	return cellOf(ev), nil
+}
+
+// Fig1Row aggregates one determinism model over the corpus: the point the
+// paper's Fig. 1 places on the (debugging utility, runtime overhead)
+// plane.
+type Fig1Row struct {
+	Model        record.Model
+	MeanOverhead float64
+	MeanDF       float64
+	MeanDE       float64
+	MeanDU       float64
+	Cells        []Cell
+}
+
+// Fig1 reproduces Figure 1: the relaxation trend. Every model is evaluated
+// on every corpus scenario; the row means are the plotted coordinates.
+func Fig1(o Options) ([]Fig1Row, error) {
+	o = o.withDefaults()
+	var rows []Fig1Row
+	for _, model := range record.AllModels() {
+		row := Fig1Row{Model: model}
+		for _, s := range o.corpus() {
+			c, err := runCell(s, model, o)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s/%s: %w", s.Name, model, err)
+			}
+			row.Cells = append(row.Cells, c)
+		}
+		n := float64(len(row.Cells))
+		for _, c := range row.Cells {
+			row.MeanOverhead += c.Overhead / n
+			row.MeanDF += c.DF / n
+			row.MeanDE += c.DE / n
+			row.MeanDU += c.DU / n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig1 prints the Fig. 1 series.
+func RenderFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — relaxation trend: runtime overhead vs debugging utility\n")
+	b.WriteString("(each point is the mean over the scenario corpus)\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %8s %8s %8s\n", "model", "overhead", "DF", "DE", "DU")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.2fx %8.3f %8.3f %8.3f\n",
+			r.Model, r.MeanOverhead, r.MeanDF, r.MeanDE, r.MeanDU)
+	}
+	b.WriteString("\nper-cell detail:\n")
+	fmt.Fprintf(&b, "%-12s %-18s %9s %8s %8s %8s %9s\n",
+		"model", "scenario", "overhead", "DF", "DE", "DU", "logbytes")
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%-12s %-18s %8.2fx %8.3f %8.3f %8.3f %9d\n",
+				c.Model, c.Scenario, c.Overhead, c.DF, c.DE, c.DU, c.LogBytes)
+		}
+	}
+	return b.String()
+}
+
+// Fig2 reproduces Figure 2: the Hypertable data-loss case study. The paper
+// plots value determinism, failure determinism and RCSE; perfect and
+// output determinism are included as reference rows.
+func Fig2(o Options) ([]Cell, error) {
+	o = o.withDefaults()
+	s, err := workload.ByName("hyperkv-dataloss")
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, model := range []record.Model{
+		record.Value, record.Failure, record.DebugRCSE,
+		record.Perfect, record.Output,
+	} {
+		c, err := runCell(s, model, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", model, err)
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+// RenderFig2 prints the Fig. 2 points.
+func RenderFig2(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — Hypertable data-loss bug: recording overhead vs debugging fidelity\n")
+	b.WriteString("(first three rows are the models the paper plots)\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %12s %-18s %-18s\n",
+		"model", "overhead", "fidelity", "log bytes", "orig cause", "replay cause")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-12s %9.2fx %10.3f %12d %-18s %-18s\n",
+			c.Model, c.Overhead, c.DF, c.LogBytes, c.OrigCause, c.ReplayCause)
+	}
+	return b.String()
+}
+
+// TableDF reproduces the §4 fidelity numbers (T-DF).
+func TableDF(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Table DF — §4 debugging fidelity on the Hypertable bug\n")
+	b.WriteString("paper: value = 1, RCSE = 1, failure = 1/3 (three possible root causes)\n\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-12s DF = %.3f\n", c.Model, c.DF)
+	}
+	return b.String()
+}
+
+// TableOverhead reproduces the §4 recording-overhead comparison (T-OVH).
+func TableOverhead(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Table OVH — §4 recording overhead on the Hypertable bug\n")
+	b.WriteString("paper: value records all inputs and interleavings; RCSE records control-plane\n")
+	b.WriteString("data and the thread schedule; failure determinism records only the failure state\n\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-12s overhead = %5.2fx  log = %8d bytes\n", c.Model, c.Overhead, c.LogBytes)
+	}
+	return b.String()
+}
+
+// PlaneRow is one scenario's classification-accuracy measurement (T-PLANE).
+type PlaneRow struct {
+	Scenario string
+	Accuracy float64
+	Verdicts []string
+}
+
+// TablePlane evaluates the control-plane classifier against each
+// scenario's ground truth, supporting the paper's reliance on [3]'s "high
+// accuracy" claim.
+func TablePlane(o Options) ([]PlaneRow, error) {
+	o = o.withDefaults()
+	var rows []PlaneRow
+	for _, s := range o.corpus() {
+		if len(s.PlaneTruth) == 0 {
+			continue
+		}
+		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed + 101})
+		c := plane.ClassifyTrace(v.Trace, plane.Options{})
+		acc, verdicts := plane.Accuracy(c, v.Machine.Sites(), s.PlaneTruth)
+		rows = append(rows, PlaneRow{Scenario: s.Name, Accuracy: acc, Verdicts: verdicts})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Scenario < rows[j].Scenario })
+	return rows, nil
+}
+
+// RenderTablePlane prints T-PLANE.
+func RenderTablePlane(rows []PlaneRow) string {
+	var b strings.Builder
+	b.WriteString("Table PLANE — control/data-plane classification accuracy vs ground truth\n\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s accuracy = %.2f\n", r.Scenario, r.Accuracy)
+		for _, v := range r.Verdicts {
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// TableDU renders the corpus-wide DU = DF×DE comparison (T-DU) from Fig. 1
+// rows, including the shrink-enabled failure-determinism row that shows
+// DE > 1.
+func TableDU(rows []Fig1Row, shrink Cell) string {
+	var b strings.Builder
+	b.WriteString("Table DU — §3.2 debugging utility (DU = DF × DE), corpus means\n\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s\n", "model", "DF", "DE", "DU")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f\n", r.Model.String(), r.MeanDF, r.MeanDE, r.MeanDU)
+	}
+	fmt.Fprintf(&b, "\nESD-style shrinking (failure determinism on %s):\n", shrink.Scenario)
+	fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f  (DE > 1: synthesized execution shorter than original)\n",
+		"failure+shrink", shrink.DF, shrink.DE, shrink.DU)
+	return b.String()
+}
+
+// ShrinkCell evaluates failure determinism with shrink parameters on the
+// overflow scenario, demonstrating DE > 1 (§3.2's execution-synthesis
+// observation).
+func ShrinkCell(o Options) (Cell, error) {
+	o = o.withDefaults()
+	s, err := workload.ByName("overflow")
+	if err != nil {
+		return Cell{}, err
+	}
+	ev, err := core.Evaluate(s, record.Failure, core.Options{
+		ReplayBudget: o.ReplayBudget,
+		ShrinkParams: []scenario.Params{{"requests": 2}, {"requests": 4}},
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	return cellOf(ev), nil
+}
+
+// TrigRow is one RCSE-configuration ablation measurement (T-TRIG).
+type TrigRow struct {
+	Scenario   string
+	Config     string
+	Overhead   float64
+	LogBytes   int64
+	FullEvents uint64
+	DF         float64
+	RaceFires  int
+	InvFires   int
+}
+
+// TableTriggers runs the §3.1.3 ablation: each RCSE heuristic alone and
+// combined, on the scenarios that exercise it.
+func TableTriggers(o Options) ([]TrigRow, error) {
+	o = o.withDefaults()
+	type cfg struct {
+		name string
+		opts core.RCSEOptions
+	}
+	cfgs := []cfg{
+		{"code-only", core.RCSEOptions{}},
+		{"code+race", core.RCSEOptions{RaceTrigger: true}},
+		{"code+invariant", core.RCSEOptions{InvariantTrigger: true}},
+		{"race-only", core.RCSEOptions{DisableCodeSelection: true, RaceTrigger: true}},
+		{"code+race+inv", core.RCSEOptions{RaceTrigger: true, InvariantTrigger: true}},
+	}
+	var rows []TrigRow
+	for _, name := range []string{"hyperkv-dataloss", "msgdrop", "bank"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cfgs {
+			ev, err := core.Evaluate(s, record.DebugRCSE, core.Options{
+				ReplayBudget: o.ReplayBudget,
+				RCSE:         c.opts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("triggers %s/%s: %w", name, c.name, err)
+			}
+			row := TrigRow{
+				Scenario:   name,
+				Config:     c.name,
+				Overhead:   ev.Overhead,
+				LogBytes:   ev.LogBytes,
+				FullEvents: uint64(len(ev.Recording.Full)),
+				DF:         ev.Utility.DF,
+			}
+			if ev.RCSESetup != nil {
+				if ev.RCSESetup.RaceTrigger != nil {
+					row.RaceFires = ev.RCSESetup.RaceTrigger.Fired()
+				}
+				if ev.RCSESetup.InvariantTrigger != nil {
+					row.InvFires = ev.RCSESetup.InvariantTrigger.Fired()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTableTriggers prints T-TRIG.
+func RenderTableTriggers(rows []TrigRow) string {
+	var b strings.Builder
+	b.WriteString("Table TRIG — §3.1 selector ablation (RCSE configurations)\n\n")
+	fmt.Fprintf(&b, "%-18s %-15s %9s %9s %7s %6s %6s %6s\n",
+		"scenario", "config", "overhead", "logbytes", "full", "DF", "race", "inv")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-15s %8.2fx %9d %7d %6.2f %6d %6d\n",
+			r.Scenario, r.Config, r.Overhead, r.LogBytes, r.FullEvents, r.DF,
+			r.RaceFires, r.InvFires)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"debugdet/internal/record"
+)
+
+// small keeps evaluation tests quick; qualitative outcomes are unaffected
+// (the search-based cells converge well within this budget on the default
+// seeds).
+var small = Options{ReplayBudget: 120}
+
+func TestFig2ReproducesPaperShape(t *testing.T) {
+	cells, err := Fig2(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := make(map[record.Model]Cell)
+	for _, c := range cells {
+		byModel[c.Model] = c
+	}
+	v, f, r := byModel[record.Value], byModel[record.Failure], byModel[record.DebugRCSE]
+	if v.DF != 1 || r.DF != 1 {
+		t.Fatalf("value/rcse DF = %v/%v, want 1/1", v.DF, r.DF)
+	}
+	if f.DF < 0.3 || f.DF > 0.34 {
+		t.Fatalf("failure DF = %v, want 1/3", f.DF)
+	}
+	if !(f.Overhead <= r.Overhead && r.Overhead < v.Overhead) {
+		t.Fatalf("overhead ordering: failure=%v rcse=%v value=%v", f.Overhead, r.Overhead, v.Overhead)
+	}
+	out := RenderFig2(cells)
+	for _, want := range []string{"value", "failure", "debug-rcse", "migration-race"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered Fig2 missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(TableDF(cells), "DF") {
+		t.Fatal("TableDF rendering broken")
+	}
+	if !strings.Contains(TableOverhead(cells), "overhead") {
+		t.Fatal("TableOverhead rendering broken")
+	}
+}
+
+func TestFig1TrendOnSubset(t *testing.T) {
+	// Use a fast subset: the full corpus is exercised by cmd/figures and
+	// the benchmarks.
+	o := Options{ReplayBudget: 120, Scenarios: []string{"sum", "overflow"}}
+	rows, err := Fig1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 models", len(rows))
+	}
+	byModel := make(map[record.Model]Fig1Row)
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	// Overhead must decrease along the relaxation sequence perfect →
+	// value → output → failure (Fig. 1's y axis), with RCSE far below
+	// value.
+	p, v, out, f, rc := byModel[record.Perfect], byModel[record.Value],
+		byModel[record.Output], byModel[record.Failure], byModel[record.DebugRCSE]
+	if !(p.MeanOverhead >= v.MeanOverhead && v.MeanOverhead > out.MeanOverhead &&
+		out.MeanOverhead >= f.MeanOverhead) {
+		t.Fatalf("relaxation overhead trend broken: %v %v %v %v",
+			p.MeanOverhead, v.MeanOverhead, out.MeanOverhead, f.MeanOverhead)
+	}
+	if f.MeanOverhead != 1.0 {
+		t.Fatalf("failure overhead = %v, want 1.0", f.MeanOverhead)
+	}
+	// Debug determinism: utility at (or near) the high-fidelity models,
+	// cost near the ultra-relaxed ones.
+	if rc.MeanDF != 1.0 {
+		t.Fatalf("rcse mean DF = %v, want 1.0", rc.MeanDF)
+	}
+	if rc.MeanOverhead >= v.MeanOverhead {
+		t.Fatalf("rcse overhead %v not below value %v", rc.MeanOverhead, v.MeanOverhead)
+	}
+	// The ultra-relaxed models must show the utility loss the paper
+	// warns about on this subset (the sum hazard drives output's DF down).
+	if out.MeanDF >= 1.0 {
+		t.Fatalf("output mean DF = %v; the 2+2=5 hazard is gone", out.MeanDF)
+	}
+	if txt := RenderFig1(rows); !strings.Contains(txt, "per-cell detail") {
+		t.Fatal("Fig1 rendering broken")
+	}
+}
+
+func TestTablePlaneHighAccuracy(t *testing.T) {
+	rows, err := TablePlane(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no plane rows")
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.9 {
+			t.Errorf("%s classification accuracy %.2f below 0.9:\n%s",
+				r.Scenario, r.Accuracy, strings.Join(r.Verdicts, "\n"))
+		}
+	}
+	if txt := RenderTablePlane(rows); !strings.Contains(txt, "accuracy") {
+		t.Fatal("plane rendering broken")
+	}
+}
+
+func TestShrinkCellExceedsUnitEfficiency(t *testing.T) {
+	c, err := ShrinkCell(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DE <= 1 {
+		t.Fatalf("shrink DE = %v, want > 1", c.DE)
+	}
+	if c.DF != 1 {
+		t.Fatalf("shrink DF = %v, want 1", c.DF)
+	}
+}
+
+func TestTableTriggersAblation(t *testing.T) {
+	rows, err := TableTriggers(Options{ReplayBudget: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]TrigRow)
+	for _, r := range rows {
+		byKey[r.Scenario+"/"+r.Config] = r
+	}
+	// Code-based selection alone keeps the Hypertable bug's fidelity at 1
+	// with the smallest log.
+	codeOnly := byKey["hyperkv-dataloss/code-only"]
+	if codeOnly.DF != 1 {
+		t.Fatalf("code-only DF = %v", codeOnly.DF)
+	}
+	// Adding the race trigger grows the log (it fires on the injected
+	// race) but never hurts fidelity.
+	codeRace := byKey["hyperkv-dataloss/code+race"]
+	if codeRace.RaceFires == 0 {
+		t.Fatal("race trigger never fired on the racy cluster")
+	}
+	if codeRace.LogBytes <= codeOnly.LogBytes {
+		t.Fatal("race-trigger dial-up did not grow the log")
+	}
+	if codeRace.DF != 1 {
+		t.Fatalf("code+race DF = %v", codeRace.DF)
+	}
+	// The invariant trigger fires on the drifting bank.
+	bankInv := byKey["bank/code+invariant"]
+	if bankInv.InvFires == 0 {
+		t.Fatal("invariant trigger never fired on the drifting bank")
+	}
+	if txt := RenderTableTriggers(rows); !strings.Contains(txt, "code-only") {
+		t.Fatal("trigger table rendering broken")
+	}
+}

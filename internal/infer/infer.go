@@ -1,0 +1,165 @@
+// Package infer implements the execution-synthesis engine behind the
+// relaxed determinism models: it reconstructs the non-determinism a
+// recorder chose not to persist.
+//
+// Output determinism (ODR) and failure determinism (ESD) both defer work
+// from production to debug time: the replayer must find *some* execution
+// consistent with what little was recorded — the same outputs, or just the
+// same failure signature. This package realizes that inference as guided
+// search over re-executions of the program on the deterministic VM:
+//
+//   - scheduling non-determinism is searched by enumerating scheduler
+//     seeds, alternating uniform-random with PCT (priority-based) search,
+//     which reaches rare interleavings with known probability;
+//   - input non-determinism is searched by drawing candidate input
+//     sequences from the scenario's declared input domains;
+//   - recorded fragments (forced inputs, forced schedules) constrain each
+//     candidate execution rather than being searched;
+//   - ESD-style shrinking tries the scenario's reduced parameter sets
+//     first, synthesizing executions shorter than the original — which is
+//     how debugging efficiency can exceed 1 (§3.2).
+//
+// The search accounts its total work in virtual cycles across every
+// attempted execution; that is the "analysis time" component of debugging
+// efficiency.
+package infer
+
+import (
+	"fmt"
+
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// Options configures a search.
+type Options struct {
+	// Budget is the maximum number of candidate executions (default 200).
+	Budget int
+	// BaseSeed perturbs the search's own randomness so independent
+	// searches explore differently.
+	BaseSeed int64
+	// Params are the execution parameters (scenario defaults if nil).
+	Params scenario.Params
+	// ShrinkParams are smaller parameter sets to try first, in order:
+	// the ESD-style execution synthesis that can find a shorter
+	// execution exhibiting the same failure.
+	ShrinkParams []scenario.Params
+	// ForcedInputs pins recorded streams: the replay draws these values
+	// by (stream, index) and only searches the rest.
+	ForcedInputs map[string][]trace.Value
+	// Schedule, when non-nil, is a complete recorded schedule to force;
+	// only input non-determinism is searched.
+	Schedule []trace.ThreadID
+	// MaxSteps bounds each candidate execution (0 = VM default).
+	MaxSteps uint64
+}
+
+// Outcome is a finished search.
+type Outcome struct {
+	// View is the accepted execution (nil when the search failed).
+	View *scenario.RunView
+	// Ok reports whether a consistent execution was found.
+	Ok bool
+	// Attempts is the number of candidate executions run.
+	Attempts int
+	// WorkCycles is the total virtual time across every attempt,
+	// including the accepted one: the tool's analysis cost.
+	WorkCycles uint64
+	// WorkSteps is the total event count across every attempt — the
+	// idle-time-free duration proxy debugging efficiency uses.
+	WorkSteps uint64
+	// AcceptedParams are the parameters of the accepted execution (they
+	// differ from the original's when shrinking succeeded).
+	AcceptedParams scenario.Params
+	// Note summarizes how the result was found, for reports.
+	Note string
+}
+
+// Search runs candidate executions of s until accept returns true or the
+// budget is exhausted.
+func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options) *Outcome {
+	if o.Budget == 0 {
+		o.Budget = 200
+	}
+	out := &Outcome{}
+
+	// Parameter schedule: shrunken configurations first (a few tries
+	// each), then the full configuration for the remaining budget.
+	type paramTry struct {
+		p    scenario.Params
+		note string
+	}
+	var plan []paramTry
+	perShrink := o.Budget / 8
+	if perShrink < 4 {
+		perShrink = 4
+	}
+	for i, sp := range o.ShrinkParams {
+		for j := 0; j < perShrink; j++ {
+			plan = append(plan, paramTry{p: sp, note: fmt.Sprintf("shrink[%d]", i)})
+		}
+	}
+	full := s.DefaultParams.Clone(o.Params)
+	for len(plan) < o.Budget {
+		plan = append(plan, paramTry{p: full, note: "full"})
+	}
+	if len(plan) > o.Budget {
+		plan = plan[:o.Budget]
+	}
+
+	for i, pt := range plan {
+		view := s.Exec(scenario.ExecOptions{
+			Seed:      o.BaseSeed + int64(i),
+			Params:    pt.p,
+			Scheduler: candidateScheduler(o, int64(i)),
+			Inputs:    candidateInputs(s, o, pt.p, int64(i)),
+			MaxSteps:  o.MaxSteps,
+		})
+		out.Attempts++
+		out.WorkCycles += view.Result.Cycles
+		out.WorkSteps += view.Result.Steps
+		if accept(view) {
+			out.View = view
+			out.Ok = true
+			out.AcceptedParams = pt.p
+			out.Note = fmt.Sprintf("%s attempt %d", pt.note, i)
+			return out
+		}
+	}
+	out.Note = "budget exhausted"
+	return out
+}
+
+// candidateScheduler picks the i-th candidate's scheduler: the forced
+// schedule when one is recorded, otherwise alternating random and PCT
+// search.
+func candidateScheduler(o Options, i int64) vm.Scheduler {
+	if o.Schedule != nil {
+		return vm.NewReplayScheduler(o.Schedule)
+	}
+	seed := mix(o.BaseSeed, i)
+	if i%3 == 2 {
+		// Every third candidate uses PCT to reach low-probability
+		// orderings that uniform random sampling misses.
+		return vm.NewPCTScheduler(seed, 4096, 3)
+	}
+	return vm.NewRandomScheduler(seed)
+}
+
+// candidateInputs builds the i-th candidate's input source: forced
+// recorded streams over a searched base.
+func candidateInputs(s *scenario.Scenario, o Options, p scenario.Params, i int64) vm.InputSource {
+	base := s.SearchSource(mix(o.BaseSeed, i*7919+13), p)
+	if len(o.ForcedInputs) == 0 {
+		return base
+	}
+	return &vm.MapInputs{Values: o.ForcedInputs, Base: base}
+}
+
+// mix combines two seeds into one (splitmix-style).
+func mix(a, b int64) int64 {
+	h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return int64(h &^ (1 << 63))
+}

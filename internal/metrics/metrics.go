@@ -1,0 +1,112 @@
+// Package metrics implements the paper's §3.2 evaluation measures for
+// replay-debugging systems:
+//
+//   - debugging fidelity (DF): 1 when the replay reproduces the original
+//     failure and the original root cause; 1/n when it reproduces the
+//     failure through one of the n possible root causes but not the
+//     original; 0 when the failure is not reproduced at all;
+//   - debugging efficiency (DE): the original execution's duration divided
+//     by the tool's total time to reproduce the failure, including every
+//     inference attempt — above 1 only when synthesis finds a shorter
+//     execution fast enough to amortize the search;
+//   - debugging utility (DU): DF × DE.
+//
+// All durations are virtual cycles, so the metrics are deterministic.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"debugdet/internal/scenario"
+)
+
+// Fidelity is a debugging-fidelity verdict with its evidence.
+type Fidelity struct {
+	// OrigFailed and signatures identify the failure in both runs.
+	OrigFailed   bool
+	OrigSig      string
+	ReplayFailed bool
+	ReplaySig    string
+	// OrigCauses and ReplayCauses are the root causes present in each run.
+	OrigCauses   []string
+	ReplayCauses []string
+	// SharedCause reports whether some original cause reappears in the
+	// replay.
+	SharedCause bool
+	// PossibleCauses is n in the 1/n rule.
+	PossibleCauses int
+	// DF is the debugging fidelity in [0, 1].
+	DF float64
+}
+
+// String renders the verdict.
+func (f Fidelity) String() string {
+	return fmt.Sprintf("DF=%.3f orig=[%s] replay=[%s] failure=%v/%v",
+		f.DF, strings.Join(f.OrigCauses, ","), strings.Join(f.ReplayCauses, ","),
+		f.OrigFailed, f.ReplayFailed)
+}
+
+// ComputeFidelity evaluates DF for a replay of an original run. A nil
+// replay view means the tool produced no execution at all (DF 0).
+func ComputeFidelity(s *scenario.Scenario, orig, rep *scenario.RunView) Fidelity {
+	f := Fidelity{PossibleCauses: len(s.RootCauses)}
+	f.OrigFailed, f.OrigSig = s.CheckFailure(orig)
+	f.OrigCauses = s.PresentCauses(orig)
+	if rep == nil {
+		return f
+	}
+	f.ReplayFailed, f.ReplaySig = s.CheckFailure(rep)
+	f.ReplayCauses = s.PresentCauses(rep)
+
+	if !f.OrigFailed {
+		// Degenerate case (no failure to chase): fidelity is 1 exactly
+		// when the replay is also failure-free.
+		if !f.ReplayFailed {
+			f.DF = 1
+		}
+		return f
+	}
+	if !f.ReplayFailed || f.ReplaySig != f.OrigSig {
+		// The failure was not reproduced: the replay is useless for
+		// debugging this bug (§3.2).
+		return f
+	}
+	for _, oc := range f.OrigCauses {
+		for _, rc := range f.ReplayCauses {
+			if oc == rc {
+				f.SharedCause = true
+			}
+		}
+	}
+	if f.SharedCause {
+		f.DF = 1
+		return f
+	}
+	if f.PossibleCauses > 0 {
+		f.DF = 1 / float64(f.PossibleCauses)
+	}
+	return f
+}
+
+// Efficiency computes DE: the original duration over the tool's total
+// reproduction time (all attempts plus the accepted replay). Both in
+// virtual cycles; zero tool time yields DE 0 to keep failed replays inert.
+func Efficiency(origCycles, toolCycles uint64) float64 {
+	if toolCycles == 0 {
+		return 0
+	}
+	return float64(origCycles) / float64(toolCycles)
+}
+
+// Utility is the combined DU = DF × DE (§3.2).
+type Utility struct {
+	DF float64
+	DE float64
+	DU float64
+}
+
+// ComputeUtility combines fidelity and efficiency.
+func ComputeUtility(f Fidelity, de float64) Utility {
+	return Utility{DF: f.DF, DE: de, DU: f.DF * de}
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"testing"
+
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// fakeScenario builds a scenario whose failure and causes are driven by
+// output values, so fidelity rules can be tested directly.
+//
+// Protocol: the program emits one value on stream "state".
+//   - value 0: no failure
+//   - value 1: failure with cause A
+//   - value 2: failure with cause B
+//   - value 3: failure with a different signature
+func fakeScenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:          "fake",
+		DefaultParams: scenario.Params{},
+		Build: func(m *vm.Machine, p scenario.Params) func(*vm.Thread) {
+			in := m.Stream("ctl")
+			out := m.Stream("state")
+			s := m.Site("s")
+			return func(t *vm.Thread) {
+				v := t.Input(s, in)
+				t.Output(s, out, v)
+			}
+		},
+		Inputs: func(seed int64, p scenario.Params) vm.InputSource {
+			return vm.InputSourceFunc(func(string, int) trace.Value { return trace.Int(seed) })
+		},
+		Failure: scenario.FailureSpec{
+			Name: "fake",
+			Check: func(v *scenario.RunView) (bool, string) {
+				switch state(v) {
+				case 1, 2:
+					return true, "fake:boom"
+				case 3:
+					return true, "fake:other"
+				}
+				return false, ""
+			},
+		},
+		RootCauses: []scenario.RootCause{
+			{ID: "A", Present: func(v *scenario.RunView) bool { return state(v) == 1 }},
+			{ID: "B", Present: func(v *scenario.RunView) bool { return state(v) == 2 }},
+			{ID: "C", Present: func(v *scenario.RunView) bool { return false }},
+		},
+	}
+}
+
+func state(v *scenario.RunView) int64 {
+	outs := v.Result.Outputs["state"]
+	if len(outs) == 0 {
+		return -1
+	}
+	return outs[0].AsInt()
+}
+
+func runState(t *testing.T, s *scenario.Scenario, val int64) *scenario.RunView {
+	t.Helper()
+	return s.Exec(scenario.ExecOptions{Seed: val})
+}
+
+func TestDFSameCause(t *testing.T) {
+	s := fakeScenario()
+	orig := runState(t, s, 1)
+	rep := runState(t, s, 1)
+	f := ComputeFidelity(s, orig, rep)
+	if f.DF != 1 || !f.SharedCause {
+		t.Fatalf("same-cause DF = %v (%+v)", f.DF, f)
+	}
+}
+
+func TestDFDifferentCauseIsOneOverN(t *testing.T) {
+	s := fakeScenario()
+	orig := runState(t, s, 1) // cause A
+	rep := runState(t, s, 2)  // same signature, cause B
+	f := ComputeFidelity(s, orig, rep)
+	want := 1.0 / 3.0
+	if f.DF != want {
+		t.Fatalf("different-cause DF = %v, want %v", f.DF, want)
+	}
+	if f.SharedCause {
+		t.Fatal("claims shared cause incorrectly")
+	}
+}
+
+func TestDFZeroWhenFailureNotReproduced(t *testing.T) {
+	s := fakeScenario()
+	orig := runState(t, s, 1)
+	rep := runState(t, s, 0) // clean run
+	if f := ComputeFidelity(s, orig, rep); f.DF != 0 {
+		t.Fatalf("non-failing replay DF = %v, want 0", f.DF)
+	}
+}
+
+func TestDFZeroOnSignatureMismatch(t *testing.T) {
+	s := fakeScenario()
+	orig := runState(t, s, 1)
+	rep := runState(t, s, 3) // fails with a different signature
+	if f := ComputeFidelity(s, orig, rep); f.DF != 0 {
+		t.Fatalf("different-signature DF = %v, want 0", f.DF)
+	}
+}
+
+func TestDFZeroOnNilReplay(t *testing.T) {
+	s := fakeScenario()
+	orig := runState(t, s, 1)
+	if f := ComputeFidelity(s, orig, nil); f.DF != 0 {
+		t.Fatalf("nil replay DF = %v, want 0", f.DF)
+	}
+}
+
+func TestDFCleanOriginal(t *testing.T) {
+	s := fakeScenario()
+	orig := runState(t, s, 0)
+	if f := ComputeFidelity(s, orig, runState(t, s, 0)); f.DF != 1 {
+		t.Fatalf("clean/clean DF = %v, want 1", f.DF)
+	}
+	if f := ComputeFidelity(s, orig, runState(t, s, 1)); f.DF != 0 {
+		t.Fatalf("clean/failing DF = %v, want 0", f.DF)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if de := Efficiency(100, 200); de != 0.5 {
+		t.Fatalf("DE = %v, want 0.5", de)
+	}
+	if de := Efficiency(300, 100); de != 3.0 {
+		t.Fatalf("DE = %v, want 3.0 (synthesized shorter execution)", de)
+	}
+	if de := Efficiency(100, 0); de != 0 {
+		t.Fatalf("zero tool time DE = %v, want 0", de)
+	}
+}
+
+func TestUtilityIsProduct(t *testing.T) {
+	f := Fidelity{DF: 0.5}
+	u := ComputeUtility(f, 2.0)
+	if u.DU != 1.0 || u.DF != 0.5 || u.DE != 2.0 {
+		t.Fatalf("DU = %+v", u)
+	}
+}
+
+func TestFidelityStringIsInformative(t *testing.T) {
+	s := fakeScenario()
+	f := ComputeFidelity(s, runState(t, s, 1), runState(t, s, 2))
+	str := f.String()
+	if str == "" {
+		t.Fatal("empty fidelity rendering")
+	}
+}

@@ -1,0 +1,209 @@
+package race
+
+import (
+	"testing"
+
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// buildRacy runs two threads that load+store a shared cell with no locking.
+func buildRacy(seed int64, locked bool) *vm.Result {
+	m := vm.New(vm.Config{Seed: seed, CollectTrace: true})
+	c := m.NewCell("shared", trace.Int(0))
+	mu := m.NewMutex("mu")
+	s := m.Site("w.access")
+	sl := m.Site("w.lock")
+	sp := m.Site("main.spawn")
+	w := func(t *vm.Thread) {
+		for i := 0; i < 10; i++ {
+			if locked {
+				t.Lock(sl, mu)
+			}
+			v := t.Load(s, c)
+			t.Store(s, c, trace.Int(v.AsInt()+1))
+			if locked {
+				t.Unlock(sl, mu)
+			}
+		}
+	}
+	return m.Run(func(t *vm.Thread) {
+		t.Spawn(sp, "a", w)
+		t.Spawn(sp, "b", w)
+	})
+}
+
+func TestDetectsRaceOnUnlockedCounter(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 10; seed++ {
+		res := buildRacy(seed, false)
+		if len(Analyze(res.Trace)) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no race detected on unlocked counter across 10 seeds")
+	}
+}
+
+func TestNoRaceWithLocking(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		res := buildRacy(seed, true)
+		if rs := Analyze(res.Trace); len(rs) > 0 {
+			t.Fatalf("seed %d: false positive on locked counter: %v", seed, rs[0])
+		}
+	}
+}
+
+func TestNoRaceOnChannelHandoff(t *testing.T) {
+	// Producer writes a cell, sends a token; consumer receives, then reads
+	// the cell. The channel edge orders the accesses.
+	for seed := int64(0); seed < 10; seed++ {
+		m := vm.New(vm.Config{Seed: seed, CollectTrace: true})
+		c := m.NewCell("data", trace.Int(0))
+		ch := m.NewChan("tok", 1)
+		s := m.Site("s")
+		sp := m.Site("spawn")
+		res := m.Run(func(t *vm.Thread) {
+			t.Spawn(sp, "prod", func(t *vm.Thread) {
+				t.Store(s, c, trace.Int(99))
+				t.Send(s, ch, trace.Int(1))
+			})
+			t.Spawn(sp, "cons", func(t *vm.Thread) {
+				t.Recv(s, ch)
+				t.Load(s, c)
+			})
+		})
+		if rs := Analyze(res.Trace); len(rs) > 0 {
+			t.Fatalf("seed %d: false positive across channel handoff: %v", seed, rs[0])
+		}
+	}
+}
+
+func TestNoRaceAcrossSpawnEdge(t *testing.T) {
+	// Parent writes before spawning; child reads. Spawn orders them.
+	m := vm.New(vm.Config{Seed: 1, CollectTrace: true})
+	c := m.NewCell("init", trace.Int(0))
+	s := m.Site("s")
+	sp := m.Site("spawn")
+	res := m.Run(func(t *vm.Thread) {
+		t.Store(s, c, trace.Int(7))
+		t.Spawn(sp, "child", func(t *vm.Thread) {
+			t.Load(s, c)
+		})
+	})
+	if rs := Analyze(res.Trace); len(rs) > 0 {
+		t.Fatalf("false positive across spawn edge: %v", rs[0])
+	}
+}
+
+func TestWriteWriteRaceDetected(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 10; seed++ {
+		m := vm.New(vm.Config{Seed: seed, CollectTrace: true})
+		c := m.NewCell("cell", trace.Int(0))
+		s := m.Site("s")
+		sp := m.Site("spawn")
+		res := m.Run(func(t *vm.Thread) {
+			t.Spawn(sp, "a", func(t *vm.Thread) { t.Store(s, c, trace.Int(1)) })
+			t.Spawn(sp, "b", func(t *vm.Thread) { t.Store(s, c, trace.Int(2)) })
+		})
+		if len(Analyze(res.Trace)) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("write-write race never detected")
+	}
+}
+
+func TestSameThreadAccessesNeverRace(t *testing.T) {
+	m := vm.New(vm.Config{Seed: 0, CollectTrace: true})
+	c := m.NewCell("cell", trace.Int(0))
+	s := m.Site("s")
+	res := m.Run(func(t *vm.Thread) {
+		for i := 0; i < 20; i++ {
+			t.Store(s, c, trace.Int(int64(i)))
+			t.Load(s, c)
+		}
+	})
+	if rs := Analyze(res.Trace); len(rs) > 0 {
+		t.Fatalf("single-threaded program reported a race: %v", rs[0])
+	}
+}
+
+func TestOnlineDetectorChargesCostAndFiresCallback(t *testing.T) {
+	fired := 0
+	var res *vm.Result
+	for seed := int64(0); seed < 20 && fired == 0; seed++ {
+		d := NewDetector(Options{SampleRate: 1, CheckCost: 25, OnRace: func(Race) { fired++ }})
+		m := vm.New(vm.Config{Seed: seed, CollectTrace: true})
+		c := m.NewCell("shared", trace.Int(0))
+		s := m.Site("s")
+		sp := m.Site("spawn")
+		m.Attach(d)
+		w := func(t *vm.Thread) {
+			for i := 0; i < 10; i++ {
+				v := t.Load(s, c)
+				t.Store(s, c, trace.Int(v.AsInt()+1))
+			}
+		}
+		res = m.Run(func(t *vm.Thread) {
+			t.Spawn(sp, "a", w)
+			t.Spawn(sp, "b", w)
+		})
+	}
+	if fired == 0 {
+		t.Fatal("online detector never fired on racy program")
+	}
+	if res.RecordCycles == 0 {
+		t.Fatal("online detection charged no cost")
+	}
+}
+
+func TestSamplingReducesChecks(t *testing.T) {
+	run := func(rate uint64) uint64 {
+		d := NewDetector(Options{SampleRate: rate})
+		m := vm.New(vm.Config{Seed: 5, CollectTrace: false})
+		c := m.NewCell("c", trace.Int(0))
+		s := m.Site("s")
+		m.Attach(d)
+		m.Run(func(t *vm.Thread) {
+			for i := 0; i < 100; i++ {
+				t.Store(s, c, trace.Int(int64(i)))
+			}
+		})
+		return d.Checked()
+	}
+	full, sampled := run(1), run(10)
+	if sampled >= full {
+		t.Fatalf("sampling did not reduce checks: full=%d sampled=%d", full, sampled)
+	}
+}
+
+func TestRaceDeduplication(t *testing.T) {
+	// The same racy site pair executed many times must be reported once.
+	var all []Race
+	for seed := int64(0); seed < 20; seed++ {
+		res := buildRacy(seed, false)
+		rs := Analyze(res.Trace)
+		if len(rs) > 0 {
+			all = rs
+			break
+		}
+	}
+	if len(all) == 0 {
+		t.Skip("no race observed in sweep")
+	}
+	keys := make(map[string]int)
+	for _, r := range all {
+		keys[r.Key()]++
+	}
+	for k, n := range keys {
+		if n > 1 {
+			t.Fatalf("race %s reported %d times", k, n)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package record
+
+import (
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// Level is the fidelity at which one event is persisted.
+type Level uint8
+
+// Levels.
+const (
+	// LevelSkip persists nothing.
+	LevelSkip Level = iota
+	// LevelSched persists only the scheduling decision (the thread ID):
+	// one byte in the schedule stream.
+	LevelSched
+	// LevelFull persists the complete event including its value payload.
+	LevelFull
+)
+
+// Policy decides the fidelity level for each event. Policies may be
+// stateful (the RCSE policy dials levels up and down at runtime).
+type Policy interface {
+	Name() string
+	Level(e *trace.Event) Level
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc struct {
+	N string
+	F func(e *trace.Event) Level
+}
+
+// Name implements Policy.
+func (p PolicyFunc) Name() string { return p.N }
+
+// Level implements Policy.
+func (p PolicyFunc) Level(e *trace.Event) Level { return p.F(e) }
+
+// fullEventBytes estimates the serialized size of a fully recorded event:
+// kind, thread, site, object, sequence delta and payload.
+func fullEventBytes(e *trace.Event) int { return 10 + e.Val.Size() }
+
+// Recorder persists an execution's events according to a policy. It
+// implements vm.Observer; attach it to the machine before Run.
+type Recorder struct {
+	policy Policy
+	cost   *vm.CostModel
+
+	full  []trace.Event
+	sched []trace.ThreadID
+
+	// schedComplete stays true while every event so far has contributed
+	// at least a schedule entry — the condition under which the schedule
+	// stream can drive a ReplayScheduler.
+	schedComplete bool
+
+	events     uint64
+	fullCount  uint64
+	schedCount uint64
+	bytes      int64
+}
+
+// NewRecorder builds a recorder pricing its work against the machine's
+// cost model.
+func NewRecorder(m *vm.Machine, policy Policy) *Recorder {
+	return &Recorder{policy: policy, cost: m.Cost(), schedComplete: true}
+}
+
+// OnEvent implements vm.Observer.
+func (r *Recorder) OnEvent(e *trace.Event) uint64 {
+	r.events++
+	switch r.policy.Level(e) {
+	case LevelSkip:
+		r.schedComplete = false
+		return 0
+	case LevelSched:
+		r.sched = append(r.sched, e.TID)
+		r.schedCount++
+		r.bytes++
+		return r.cost.RecordByteCycles
+	default: // LevelFull
+		r.full = append(r.full, *e)
+		r.sched = append(r.sched, e.TID)
+		r.fullCount++
+		b := fullEventBytes(e)
+		r.bytes += int64(b) + 1
+		return r.cost.RecordCost(b)
+	}
+}
+
+// Bytes returns the recorded log volume.
+func (r *Recorder) Bytes() int64 { return r.bytes }
+
+// Events returns how many events the recorder observed.
+func (r *Recorder) Events() uint64 { return r.events }
+
+// FullCount returns how many events were persisted in full.
+func (r *Recorder) FullCount() uint64 { return r.fullCount }
+
+// Perfect determinism: everything, in full.
+func perfectPolicy() Policy {
+	return PolicyFunc{N: "perfect", F: func(*trace.Event) Level { return LevelFull }}
+}
+
+// Value determinism: every value read or written at every execution point
+// (loads, stores, sends, receives, inputs, outputs, probes), with no
+// cross-thread ordering. Synchronization events are not persisted at all —
+// replay must rediscover a consistent interleaving, which is exactly the
+// extra work value-deterministic systems push to debug time.
+func valuePolicy() Policy {
+	return PolicyFunc{N: "value", F: func(e *trace.Event) Level {
+		switch e.Kind {
+		case trace.EvLoad, trace.EvStore, trace.EvSend, trace.EvRecv,
+			trace.EvInput, trace.EvOutput, trace.EvObserve,
+			trace.EvFail, trace.EvCrash:
+			return LevelFull
+		}
+		return LevelSkip
+	}}
+}
+
+// Output determinism, lightest ODR scheme: outputs only. Inputs, paths,
+// schedules and race orders are all left to inference.
+func outputPolicy() Policy {
+	return PolicyFunc{N: "output", F: func(e *trace.Event) Level {
+		switch e.Kind {
+		case trace.EvOutput, trace.EvFail, trace.EvCrash:
+			return LevelFull
+		}
+		return LevelSkip
+	}}
+}
+
+// Failure determinism: nothing at runtime. The failure signature is
+// extracted from the run result post-mortem (see Capture).
+func failurePolicy() Policy {
+	return PolicyFunc{N: "failure", F: func(*trace.Event) Level { return LevelSkip }}
+}
+
+// PolicyFor returns the stock policy for a model. DebugRCSE has no stock
+// policy — it is built by the rcse package from a plane classification and
+// triggers — so requesting it returns nil and the caller must supply one.
+func PolicyFor(m Model) Policy {
+	switch m {
+	case Perfect:
+		return perfectPolicy()
+	case Value:
+		return valuePolicy()
+	case Output:
+		return outputPolicy()
+	case Failure:
+		return failurePolicy()
+	}
+	return nil
+}

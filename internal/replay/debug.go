@@ -1,0 +1,54 @@
+package replay
+
+import (
+	"fmt"
+	"strings"
+
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/vm"
+)
+
+// DebugValueReplay runs one value-guided replay attempt and reports where
+// matching stalled: which threads still had unconsumed log entries and
+// what their next wanted events were. Development aid used by cmd/probe
+// and by tests diagnosing guided-scheduling regressions.
+func DebugValueReplay(s *scenario.Scenario, rec *record.Recording, o Options) string {
+	inputs := newStagedInputs(s.SearchSource(o.SearchSeed, s.DefaultParams.Clone(rec.Params)))
+	sched := newValueGuidedScheduler(rec, inputs)
+	view := s.Exec(scenario.ExecOptions{
+		Seed:      rec.Seed,
+		Params:    rec.Params,
+		Scheduler: sched,
+		Inputs:    inputs,
+		MaxSteps:  o.MaxSteps,
+		RelaxTime: true,
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcome=%s consumed=%d/%d done=%v\n",
+		view.Result.Outcome, sched.consumed, sched.total, sched.Done())
+	for tid, q := range sched.logs {
+		i := sched.pos[tid]
+		if i >= len(q) {
+			continue
+		}
+		name := view.Machine.ThreadName(tid)
+		fmt.Fprintf(&b, "  tid=%d(%s) pos=%d/%d next-want=%v (site %s)\n",
+			tid, name, i, len(q), q[i], view.Trace.SiteName(q[i].Site))
+	}
+	if ev, bad := view.Trace.Terminal(); bad {
+		fmt.Fprintf(&b, "  terminal: %v\n", ev)
+	}
+	n := len(view.Trace.Events)
+	lo := n - 6
+	if lo < 0 {
+		lo = 0
+	}
+	for _, e := range view.Trace.Events[lo:] {
+		fmt.Fprintf(&b, "  tail: %v tname=%s site=%s\n", e,
+			view.Machine.ThreadName(e.TID), view.Trace.SiteName(e.Site))
+	}
+	return b.String()
+}
+
+var _ = vm.OutcomeOK // keep vm imported for future debug helpers

@@ -1,0 +1,248 @@
+// Package scenario defines the workload contract: how a buggy program, its
+// environment, its failure specification and its possible root causes are
+// described to the record/replay machinery.
+//
+// The definitions follow §3 of the paper directly. A failure is a
+// violation of the program's I/O specification, expressed here as a
+// predicate over a finished run that also yields a failure signature (the
+// information a bug report or core dump would carry). A root cause is the
+// negation of the predicate a fix would enforce; since scenarios are built
+// around previously-solved bugs (as in the paper's §4 case study), each
+// scenario declares the full set of root-cause predicates that can explain
+// its failure, and evaluation checks which of them actually occurred in a
+// given execution.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"debugdet/internal/plane"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// Params are scenario parameters (sizes, client counts, toggles).
+type Params map[string]int64
+
+// Get returns the parameter or a default.
+func (p Params) Get(key string, def int64) int64 {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns an independent copy with overrides applied.
+func (p Params) Clone(overrides Params) Params {
+	c := make(Params, len(p)+len(overrides))
+	for k, v := range p {
+		c[k] = v
+	}
+	for k, v := range overrides {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders parameters deterministically (sorted keys).
+func (p Params) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, p[k])
+	}
+	return s
+}
+
+// RunView is what predicates and analyses see of a finished execution: the
+// machine (for object names and final state), the result, and the oracle
+// trace.
+type RunView struct {
+	Machine *vm.Machine
+	Result  *vm.Result
+	Trace   *trace.Log
+}
+
+// Failed reports whether the scenario's failure specification holds,
+// delegating to the owning scenario.
+type FailureSpec struct {
+	// Name is a short identifier, e.g. "dataloss".
+	Name string
+	// Check inspects a finished run. failed reports whether the failure
+	// occurred; signature is the failure class identity (what a bug
+	// report would contain: same signature = same failure). The
+	// signature must be "" when failed is false.
+	Check func(v *RunView) (failed bool, signature string)
+}
+
+// RootCause is one possible explanation for the scenario's failure,
+// expressed as a predicate over an execution (§3: the negation of the
+// fix's predicate P held during the run).
+type RootCause struct {
+	// ID is a short stable identifier, e.g. "migration-race".
+	ID string
+	// Description explains the cause in the terms a developer would use.
+	Description string
+	// Present reports whether this root cause occurred in the run.
+	Present func(v *RunView) bool
+}
+
+// InputDomain declares the value space of one environment stream, for the
+// inference engine to search over when the stream's values were not
+// recorded. Integer domains draw uniformly from [Min, Max].
+type InputDomain struct {
+	Stream string
+	Min    int64
+	Max    int64
+}
+
+// Scenario is one reproducible buggy program.
+type Scenario struct {
+	// Name identifies the scenario in catalogs and logs.
+	Name string
+	// Description is a one-paragraph summary (what the bug is, where it
+	// comes from in the paper).
+	Description string
+	// DefaultParams are the parameters experiments use unless overridden.
+	DefaultParams Params
+	// DefaultSeed is a scheduler seed known to manifest the failure.
+	DefaultSeed int64
+	// Build constructs the program on a fresh machine and returns the
+	// main thread body. Object and site registration must be
+	// deterministic.
+	Build func(m *vm.Machine, p Params) func(*vm.Thread)
+	// Inputs returns the production environment for a seed: the input
+	// source the original execution consumed. Replay-time machinery must
+	// NOT call this — production inputs are not replayable from a seed;
+	// the seed stands in for the outside world. Inference uses
+	// SearchInputs instead.
+	Inputs func(seed int64, p Params) vm.InputSource
+	// SearchInputs returns an input source that samples the scenario's
+	// input domains, for inference-based replay. Nil means inputs are
+	// drawn uniformly from InputDomains via vm.SeededInputs-style
+	// hashing.
+	SearchInputs func(searchSeed int64, p Params) vm.InputSource
+	// InputDomains declare per-stream search spaces (used when
+	// SearchInputs is nil, and by documentation).
+	InputDomains []InputDomain
+	// Failure is the scenario's failure specification.
+	Failure FailureSpec
+	// RootCauses enumerates the possible root causes for the failure, in
+	// a stable order. Debugging fidelity's 1/n uses n = len(RootCauses).
+	RootCauses []RootCause
+	// PlaneTruth is the ground-truth control/data classification of the
+	// scenario's sites (by name), for evaluating the plane classifier.
+	PlaneTruth map[string]plane.Plane
+	// ControlStreams names the input streams whose values RCSE records
+	// (control-plane inputs); all other streams are data-plane and are
+	// re-drawn from the search domain at replay time.
+	ControlStreams []string
+	// TrainingParams override the defaults for invariant-training runs:
+	// the healthy build the invariants are learned from (for example the
+	// fixed variant of a racy program — training happens before the bug
+	// ships, on code that passes its tests).
+	TrainingParams Params
+}
+
+// ExecOptions parameterizes one execution of a scenario.
+type ExecOptions struct {
+	// Seed is the scheduler seed (and, via Inputs, the environment
+	// identity).
+	Seed int64
+	// Params override the scenario defaults (nil keeps them).
+	Params Params
+	// Scheduler overrides the default seeded-random scheduler.
+	Scheduler vm.Scheduler
+	// Inputs overrides the scenario's production input source. Replay
+	// and inference always set this.
+	Inputs vm.InputSource
+	// Observers are attached before the run (recorders, monitors,
+	// detectors).
+	Observers []vm.Observer
+	// MaxSteps bounds the execution (0 = VM default).
+	MaxSteps uint64
+	// CollectTrace controls oracle-trace collection (default true; only
+	// micro-benchmarks disable it).
+	DisableTrace bool
+	// RelaxTime lifts time gates on sleeps and timeouts, required when a
+	// complete recorded schedule is being forced (see vm.Config.RelaxTime).
+	RelaxTime bool
+}
+
+// Exec builds and runs the scenario once, returning the finished view.
+func (s *Scenario) Exec(o ExecOptions) *RunView {
+	p := s.DefaultParams.Clone(o.Params)
+	inputs := o.Inputs
+	if inputs == nil {
+		inputs = s.Inputs(o.Seed, p)
+	}
+	m := vm.New(vm.Config{
+		Seed:         o.Seed,
+		Scheduler:    o.Scheduler,
+		Inputs:       inputs,
+		MaxSteps:     o.MaxSteps,
+		CollectTrace: !o.DisableTrace,
+		RelaxTime:    o.RelaxTime,
+	})
+	main := s.Build(m, p)
+	for _, obs := range o.Observers {
+		m.Attach(obs)
+	}
+	res := m.Run(main)
+	if res.Trace != nil {
+		res.Trace.Header.Scenario = s.Name
+		res.Trace.Header.Seed = o.Seed
+		res.Trace.Header.Params = map[string]int64(p)
+	}
+	return &RunView{Machine: m, Result: res, Trace: res.Trace}
+}
+
+// CheckFailure evaluates the failure spec on a view.
+func (s *Scenario) CheckFailure(v *RunView) (bool, string) {
+	return s.Failure.Check(v)
+}
+
+// PresentCauses returns the IDs of the root causes present in the run, in
+// declaration order.
+func (s *Scenario) PresentCauses(v *RunView) []string {
+	var out []string
+	for _, rc := range s.RootCauses {
+		if rc.Present(v) {
+			out = append(out, rc.ID)
+		}
+	}
+	return out
+}
+
+// DomainInputs builds the default search input source: every stream with a
+// declared domain draws uniformly from it; undeclared streams draw small
+// non-negative integers. Deterministic in (searchSeed, stream, index).
+func (s *Scenario) DomainInputs(searchSeed int64) vm.InputSource {
+	domains := make(map[string]InputDomain, len(s.InputDomains))
+	for _, d := range s.InputDomains {
+		domains[d.Stream] = d
+	}
+	return vm.InputSourceFunc(func(stream string, index int) trace.Value {
+		h := vm.HashValue(searchSeed, stream, index)
+		if d, ok := domains[stream]; ok && d.Max > d.Min {
+			return trace.Int(d.Min + h%(d.Max-d.Min+1))
+		}
+		return trace.Int(h % 1024)
+	})
+}
+
+// SearchSource resolves the scenario's search-input mechanism.
+func (s *Scenario) SearchSource(searchSeed int64, p Params) vm.InputSource {
+	if s.SearchInputs != nil {
+		return s.SearchInputs(searchSeed, p)
+	}
+	return s.DomainInputs(searchSeed)
+}

@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"testing"
+
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// oneShot sends a single message a→b and reports the delivery time.
+func oneShot(t *testing.T, configure func(n *Network)) (uint64, *vm.Result) {
+	t.Helper()
+	m := vm.New(vm.Config{Seed: 1, Inputs: vm.SeededInputs(1, 100), CollectTrace: true})
+	net := New(m, Options{})
+	net.AddNode("a")
+	net.AddNode("b")
+	net.Build()
+	if configure != nil {
+		configure(net)
+	}
+	s := m.Site("test")
+	var at uint64
+	res := m.Run(func(t *vm.Thread) {
+		net.Start(t)
+		t.Spawn(s, "a", func(t *vm.Thread) {
+			net.Send(t, s, "a", "b", Message{Kind: "x", From: "a"})
+		})
+		t.Spawn(s, "b", func(t *vm.Thread) {
+			net.Recv(t, s, "b")
+			at = t.Now()
+		})
+	})
+	return at, res
+}
+
+func TestSetLinkOverridesDefault(t *testing.T) {
+	fast, r1 := oneShot(t, nil)
+	slow, r2 := oneShot(t, func(n *Network) {
+		n.SetLink("a", "b", LinkConfig{LatencyBase: 50000})
+	})
+	if r1.Outcome != vm.OutcomeOK || r2.Outcome != vm.OutcomeOK {
+		t.Fatalf("outcomes: %v %v", r1.Outcome, r2.Outcome)
+	}
+	if slow <= fast {
+		t.Fatalf("per-link latency override inert: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestJitterDrawsFromEnvStream(t *testing.T) {
+	_, res := oneShot(t, func(n *Network) {
+		n.SetLink("a", "b", LinkConfig{LatencyBase: 10, LatencyJitter: 500})
+	})
+	if res.Outcome != vm.OutcomeOK {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	// The jitter must appear as an env-tainted input event on the link's
+	// latency stream.
+	found := false
+	for _, e := range res.Trace.Events {
+		if e.Kind == trace.EvInput && e.Taint&trace.TaintEnv != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no env-tainted latency input consumed")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	m := vm.New(vm.Config{})
+	n := New(m, Options{})
+	n.AddNode("x")
+	n.AddNode("x")
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNode on unknown node did not panic")
+		}
+	}()
+	m := vm.New(vm.Config{})
+	n := New(m, Options{})
+	n.MustNode("ghost")
+}

@@ -1,0 +1,152 @@
+// Package trace defines the execution-event model shared by the virtual
+// machine, the recorders, the replayers and the analysis passes, together
+// with a compact binary codec for persisting event logs.
+//
+// An execution of a program on the deterministic VM is fully described by
+// the ordered sequence of events it emits: every scheduling point (memory
+// access, synchronization operation, message send/receive, input, output)
+// produces exactly one event. A log that contains every event therefore
+// pins down the execution completely; the relaxed determinism models of the
+// paper correspond to persisting progressively smaller projections of this
+// sequence.
+package trace
+
+import "fmt"
+
+// ThreadID identifies a virtual thread within one machine. The main thread
+// is always 0; children are numbered in spawn order, which is deterministic.
+type ThreadID int32
+
+// SiteID identifies a static program location (an instrumentation site).
+// Sites are registered by name in a SiteTable; IDs are dense indexes.
+type SiteID uint32
+
+// NoSite is the SiteID used for machine-internal events that have no
+// corresponding program location.
+const NoSite SiteID = 0
+
+// ObjID identifies a dynamic object: a memory cell, mutex, channel or
+// input/output stream, depending on the event kind. Object namespaces are
+// independent per kind.
+type ObjID uint64
+
+// EventKind enumerates the observable operation classes of the VM.
+type EventKind uint8
+
+// Event kinds. The comment after each kind states what Obj and Val hold.
+const (
+	EvNone     EventKind = iota
+	EvSpawn              // Obj: child ThreadID; Val: child name
+	EvExit               // thread terminated normally
+	EvLoad               // Obj: cell; Val: value read
+	EvStore              // Obj: cell; Val: value written
+	EvLock               // Obj: mutex
+	EvUnlock             // Obj: mutex
+	EvSend               // Obj: channel; Val: value sent
+	EvRecv               // Obj: channel; Val: value received
+	EvInput              // Obj: stream; Val: value obtained from environment
+	EvOutput             // Obj: stream; Val: value emitted
+	EvYield              // voluntary scheduling point
+	EvSleep              // timed pause (duration is not part of the event)
+	EvObserve            // Obj: probe id; Val: observed value (invariant probe)
+	EvFail               // Val: failure message (program-detected failure)
+	EvCrash              // Val: crash message (fault, e.g. bounds violation)
+	EvDeadlock           // machine-detected deadlock (emitted on main thread)
+	kindCount
+)
+
+var kindNames = [...]string{
+	EvNone:     "none",
+	EvSpawn:    "spawn",
+	EvExit:     "exit",
+	EvLoad:     "load",
+	EvStore:    "store",
+	EvLock:     "lock",
+	EvUnlock:   "unlock",
+	EvSend:     "send",
+	EvRecv:     "recv",
+	EvInput:    "input",
+	EvOutput:   "output",
+	EvYield:    "yield",
+	EvSleep:    "sleep",
+	EvObserve:  "observe",
+	EvFail:     "fail",
+	EvCrash:    "crash",
+	EvDeadlock: "deadlock",
+}
+
+// String returns the lower-case name of the kind.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsSync reports whether the kind establishes happens-before edges between
+// threads (lock/unlock, send/recv, spawn/exit).
+func (k EventKind) IsSync() bool {
+	switch k {
+	case EvLock, EvUnlock, EvSend, EvRecv, EvSpawn, EvExit:
+		return true
+	}
+	return false
+}
+
+// IsAccess reports whether the kind is a shared-memory access.
+func (k EventKind) IsAccess() bool { return k == EvLoad || k == EvStore }
+
+// IsTerminal reports whether the kind ends an execution abnormally.
+func (k EventKind) IsTerminal() bool {
+	return k == EvFail || k == EvCrash || k == EvDeadlock
+}
+
+// Taint is a small bit set describing the provenance of a value: which
+// input classes it was (transitively) derived from. It powers the
+// control/data-plane classifier.
+type Taint uint8
+
+// Taint bits.
+const (
+	TaintNone    Taint = 0
+	TaintData    Taint = 1 << iota // derived from bulk data input (payloads)
+	TaintControl                   // derived from control input (config, metadata)
+	TaintEnv                       // derived from environment events (timers, faults)
+)
+
+// String renders the taint set compactly, e.g. "DC" or "-".
+func (t Taint) String() string {
+	if t == TaintNone {
+		return "-"
+	}
+	s := ""
+	if t&TaintData != 0 {
+		s += "D"
+	}
+	if t&TaintControl != 0 {
+		s += "C"
+	}
+	if t&TaintEnv != 0 {
+		s += "E"
+	}
+	return s
+}
+
+// Event is one observable VM operation. Events are value types; logs are
+// slices of events.
+type Event struct {
+	Seq   uint64    // position in the global total order, starting at 0
+	Time  uint64    // virtual time (cycles) at which the op completed
+	TID   ThreadID  // thread that performed the op
+	Kind  EventKind // operation class
+	Site  SiteID    // static program location, NoSite for machine events
+	Obj   ObjID     // object acted on (see kind docs)
+	Val   Value     // payload (see kind docs)
+	Taint Taint     // provenance of Val at the time of the op
+}
+
+// String renders a single event for debugging and test failure messages.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d t=%d tid=%d %s site=%d obj=%d val=%s taint=%s",
+		e.Seq, e.Time, e.TID, e.Kind, e.Site, e.Obj, e.Val, e.Taint)
+}

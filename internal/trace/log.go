@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteTable maps static program-location names to dense SiteIDs. ID 0 is
+// reserved for NoSite. Registration order determines IDs, and workloads
+// register sites deterministically, so tables are stable across runs.
+type SiteTable struct {
+	names []string
+	ids   map[string]SiteID
+}
+
+// NewSiteTable returns an empty table with NoSite pre-registered.
+func NewSiteTable() *SiteTable {
+	t := &SiteTable{ids: make(map[string]SiteID)}
+	t.names = append(t.names, "") // NoSite
+	return t
+}
+
+// Register returns the ID for name, assigning the next free ID on first use.
+func (t *SiteTable) Register(name string) SiteID {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := SiteID(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID for name and whether it is registered.
+func (t *SiteTable) Lookup(name string) (SiteID, bool) {
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Name returns the name for id, or "" if unknown.
+func (t *SiteTable) Name(id SiteID) string {
+	if int(id) < len(t.names) {
+		return t.names[id]
+	}
+	return ""
+}
+
+// Len returns the number of registered sites including NoSite.
+func (t *SiteTable) Len() int { return len(t.names) }
+
+// Names returns a copy of the name list indexed by SiteID.
+func (t *SiteTable) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (t *SiteTable) Clone() *SiteTable {
+	c := &SiteTable{
+		names: make([]string, len(t.names)),
+		ids:   make(map[string]SiteID, len(t.ids)),
+	}
+	copy(c.names, t.names)
+	for k, v := range t.ids {
+		c.ids[k] = v
+	}
+	return c
+}
+
+// Header carries the identity of the execution a log describes.
+type Header struct {
+	Scenario string            // scenario name
+	Model    string            // determinism model the log was recorded under
+	Seed     int64             // scheduler seed of the original execution
+	Params   map[string]int64  // scenario parameters
+	Labels   map[string]string // free-form annotations (e.g. recorder config)
+}
+
+// cloneParams deep-copies the mutable header maps.
+func (h Header) clone() Header {
+	c := h
+	if h.Params != nil {
+		c.Params = make(map[string]int64, len(h.Params))
+		for k, v := range h.Params {
+			c.Params[k] = v
+		}
+	}
+	if h.Labels != nil {
+		c.Labels = make(map[string]string, len(h.Labels))
+		for k, v := range h.Labels {
+			c.Labels[k] = v
+		}
+	}
+	return c
+}
+
+// Log is a recorded projection of an execution: a header, the site table in
+// effect, and an event sequence. Depending on the determinism model the
+// events may be the full sequence or a sparse subset.
+type Log struct {
+	Header Header
+	Sites  *SiteTable
+	Events []Event
+}
+
+// NewLog returns an empty log with the given header and a fresh site table.
+func NewLog(h Header) *Log {
+	return &Log{Header: h, Sites: NewSiteTable()}
+}
+
+// Append adds an event to the log.
+func (l *Log) Append(e Event) { l.Events = append(l.Events, e) }
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.Events) }
+
+// Clone returns a deep copy of the log (events are value types; the site
+// table and header maps are copied).
+func (l *Log) Clone() *Log {
+	c := &Log{Header: l.Header.clone(), Sites: l.Sites.Clone()}
+	c.Events = make([]Event, len(l.Events))
+	copy(c.Events, l.Events)
+	return c
+}
+
+// Schedule returns the sequence of thread IDs in event order: the total
+// order of scheduling decisions. Replaying this sequence on the same
+// program and inputs reproduces the execution exactly.
+func (l *Log) Schedule() []ThreadID {
+	out := make([]ThreadID, len(l.Events))
+	for i, e := range l.Events {
+		out[i] = e.TID
+	}
+	return out
+}
+
+// Outputs returns all output events grouped by stream object, in order.
+func (l *Log) Outputs() map[ObjID][]Value {
+	out := make(map[ObjID][]Value)
+	for _, e := range l.Events {
+		if e.Kind == EvOutput {
+			out[e.Obj] = append(out[e.Obj], e.Val)
+		}
+	}
+	return out
+}
+
+// Inputs returns all input events grouped by stream object, in order.
+func (l *Log) Inputs() map[ObjID][]Value {
+	in := make(map[ObjID][]Value)
+	for _, e := range l.Events {
+		if e.Kind == EvInput {
+			in[e.Obj] = append(in[e.Obj], e.Val)
+		}
+	}
+	return in
+}
+
+// Terminal returns the first terminal event (fail/crash/deadlock) and true,
+// or a zero event and false if the execution completed normally.
+func (l *Log) Terminal() (Event, bool) {
+	for _, e := range l.Events {
+		if e.Kind.IsTerminal() {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Duration returns the virtual time of the last event, i.e. the length of
+// the execution in cycles. Empty logs have duration 0.
+func (l *Log) Duration() uint64 {
+	if len(l.Events) == 0 {
+		return 0
+	}
+	return l.Events[len(l.Events)-1].Time
+}
+
+// FilterKind returns the events of the given kinds, preserving order.
+func (l *Log) FilterKind(kinds ...EventKind) []Event {
+	want := make(map[EventKind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByThread splits the events per thread, preserving per-thread order.
+func (l *Log) ByThread() map[ThreadID][]Event {
+	out := make(map[ThreadID][]Event)
+	for _, e := range l.Events {
+		out[e.TID] = append(out[e.TID], e)
+	}
+	return out
+}
+
+// Threads returns the sorted set of thread IDs appearing in the log.
+func (l *Log) Threads() []ThreadID {
+	seen := make(map[ThreadID]bool)
+	for _, e := range l.Events {
+		seen[e.TID] = true
+	}
+	out := make([]ThreadID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SiteName is a convenience that resolves a site ID against the log's table.
+func (l *Log) SiteName(id SiteID) string {
+	if l.Sites == nil {
+		return ""
+	}
+	return l.Sites.Name(id)
+}
+
+// Summary returns a short human-readable description of the log.
+func (l *Log) Summary() string {
+	term := "ok"
+	if e, bad := l.Terminal(); bad {
+		term = fmt.Sprintf("%s(%s)", e.Kind, e.Val.AsString())
+	}
+	return fmt.Sprintf("%s/%s seed=%d events=%d dur=%d %s",
+		l.Header.Scenario, l.Header.Model, l.Header.Seed, len(l.Events), l.Duration(), term)
+}
+
+// OutputsEqual reports whether two logs produced identical per-stream
+// output sequences.
+func OutputsEqual(a, b *Log) bool {
+	oa, ob := a.Outputs(), b.Outputs()
+	if len(oa) != len(ob) {
+		return false
+	}
+	for obj, va := range oa {
+		vb, ok := ob[obj]
+		if !ok || len(va) != len(vb) {
+			return false
+		}
+		for i := range va {
+			if !va[i].Equal(vb[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EventsEqual reports whether two logs contain identical event sequences,
+// ignoring the Time field when ignoreTime is set (recording overhead
+// perturbs virtual time without changing the logical execution).
+func EventsEqual(a, b *Log, ignoreTime bool) bool {
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ignoreTime {
+			ea.Time, eb.Time = 0, 0
+		}
+		if ea.Seq != eb.Seq || ea.TID != eb.TID || ea.Kind != eb.Kind ||
+			ea.Site != eb.Site || ea.Obj != eb.Obj || ea.Taint != eb.Taint ||
+			!ea.Val.Equal(eb.Val) || ea.Time != eb.Time {
+			return false
+		}
+	}
+	return true
+}

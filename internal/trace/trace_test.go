@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLog() *Log {
+	l := NewLog(Header{
+		Scenario: "sample",
+		Model:    "perfect",
+		Seed:     42,
+		Params:   map[string]int64{"clients": 3, "rows": 100},
+		Labels:   map[string]string{"note": "unit test"},
+	})
+	sA := l.Sites.Register("a.load")
+	sB := l.Sites.Register("b.store")
+	l.Append(Event{Seq: 0, Time: 10, TID: 0, Kind: EvSpawn, Obj: 1, Val: Str("w")})
+	l.Append(Event{Seq: 1, Time: 25, TID: 1, Kind: EvLoad, Site: sA, Obj: 7, Val: Int(5)})
+	l.Append(Event{Seq: 2, Time: 40, TID: 1, Kind: EvStore, Site: sB, Obj: 7, Val: Int(6), Taint: TaintData})
+	l.Append(Event{Seq: 3, Time: 55, TID: 0, Kind: EvOutput, Obj: 0, Val: Str("done")})
+	l.Append(Event{Seq: 4, Time: 70, TID: 1, Kind: EvExit})
+	l.Append(Event{Seq: 5, Time: 90, TID: 0, Kind: EvFail, Val: Str("boom")})
+	return l
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	n, err := Encode(&buf, l)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !EventsEqual(l, got, false) {
+		t.Fatal("events did not round-trip")
+	}
+	if got.Header.Scenario != "sample" || got.Header.Seed != 42 {
+		t.Fatalf("header did not round-trip: %+v", got.Header)
+	}
+	if got.Header.Params["rows"] != 100 {
+		t.Fatal("params did not round-trip")
+	}
+	if got.Header.Labels["note"] != "unit test" {
+		t.Fatal("labels did not round-trip")
+	}
+	if got.SiteName(1) != "a.load" || got.SiteName(2) != "b.store" {
+		t.Fatal("site table did not round-trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Decode accepted empty input")
+	}
+	// Valid magic, bad version.
+	if _, err := Decode(bytes.NewReader([]byte{'D', 'D', 'T', 'L', 99})); err == nil {
+		t.Fatal("Decode accepted bad version")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 1} {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("Decode accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Nil
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Bool(r.Intn(2) == 0)
+	case 3:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return String_(string(b))
+	default:
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		return Bytes_(b)
+	}
+}
+
+func randomLog(r *rand.Rand) *Log {
+	l := NewLog(Header{Scenario: "q", Model: "m", Seed: r.Int63()})
+	nSites := 1 + r.Intn(8)
+	sites := make([]SiteID, nSites)
+	for i := range sites {
+		sites[i] = l.Sites.Register(string(rune('a' + i)))
+	}
+	n := r.Intn(200)
+	var seq, tm uint64
+	for i := 0; i < n; i++ {
+		seq += uint64(1 + r.Intn(3))
+		tm += uint64(r.Intn(100))
+		l.Append(Event{
+			Seq:   seq,
+			Time:  tm,
+			TID:   ThreadID(r.Intn(6)),
+			Kind:  EventKind(1 + r.Intn(int(kindCount)-1)),
+			Site:  sites[r.Intn(nSites)],
+			Obj:   ObjID(r.Intn(1000)),
+			Val:   randomValue(r),
+			Taint: Taint(r.Intn(8)),
+		})
+	}
+	return l
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLog(r)
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, l); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return EventsEqual(l, got, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValueEqualReflexiveSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		if !a.Equal(a) {
+			return false
+		}
+		return a.Equal(b) == b.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogProjections(t *testing.T) {
+	l := sampleLog()
+	if term, ok := l.Terminal(); !ok || term.Kind != EvFail {
+		t.Fatalf("Terminal = %v/%v, want fail", term, ok)
+	}
+	outs := l.Outputs()
+	if len(outs[0]) != 1 || outs[0][0].AsString() != "done" {
+		t.Fatalf("Outputs = %v", outs)
+	}
+	sched := l.Schedule()
+	want := []ThreadID{0, 1, 1, 0, 1, 0}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("Schedule[%d] = %d, want %d", i, sched[i], want[i])
+		}
+	}
+	threads := l.Threads()
+	if len(threads) != 2 || threads[0] != 0 || threads[1] != 1 {
+		t.Fatalf("Threads = %v", threads)
+	}
+	if l.Duration() != 90 {
+		t.Fatalf("Duration = %d, want 90", l.Duration())
+	}
+	byT := l.ByThread()
+	if len(byT[1]) != 3 {
+		t.Fatalf("thread 1 has %d events, want 3", len(byT[1]))
+	}
+}
+
+func TestOutputsEqual(t *testing.T) {
+	a, b := sampleLog(), sampleLog()
+	if !OutputsEqual(a, b) {
+		t.Fatal("identical logs reported unequal outputs")
+	}
+	b.Events[3].Val = Str("different")
+	if OutputsEqual(a, b) {
+		t.Fatal("different outputs reported equal")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 || !Bool(true).AsBool() || Str("x").AsString() != "x" {
+		t.Fatal("basic accessors broken")
+	}
+	if Bool(true).AsInt() != 1 {
+		t.Fatal("bool coercion broken")
+	}
+	if !Nil.IsNil() || Int(0).IsNil() {
+		t.Fatal("IsNil broken")
+	}
+	if Int(5).Equal(Bool(true)) {
+		t.Fatal("cross-kind equality must be false")
+	}
+	if Str("42").AsInt() != 0 {
+		t.Fatal("string AsInt must be 0")
+	}
+	if Bytes_([]byte("hi")).AsString() != "hi" {
+		t.Fatal("bytes AsString broken")
+	}
+	if Int(123).Size() != 8 || Str("abc").Size() != 3 || Nil.Size() != 0 {
+		t.Fatal("Size broken")
+	}
+}
+
+func TestJSONExportDoesNotError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleLog()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"scenario": "sample"`)) {
+		t.Fatal("JSON export missing scenario")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"a.load"`)) {
+		t.Fatal("JSON export missing resolved site name")
+	}
+}
+
+func TestSiteTable(t *testing.T) {
+	tab := NewSiteTable()
+	a := tab.Register("x")
+	b := tab.Register("y")
+	if a == b || a == NoSite || b == NoSite {
+		t.Fatal("IDs must be distinct and nonzero")
+	}
+	if again := tab.Register("x"); again != a {
+		t.Fatal("re-registration must be idempotent")
+	}
+	if id, ok := tab.Lookup("y"); !ok || id != b {
+		t.Fatal("Lookup broken")
+	}
+	if _, ok := tab.Lookup("zzz"); ok {
+		t.Fatal("Lookup found unregistered site")
+	}
+	c := tab.Clone()
+	c.Register("z")
+	if _, ok := tab.Lookup("z"); ok {
+		t.Fatal("Clone is not independent")
+	}
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind enumerates the dynamic types a VM value can take. The VM is
+// deliberately first-order: integers, booleans, strings and byte blobs are
+// enough to express the workloads while keeping logs compact and
+// comparisons deterministic.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	VNil ValueKind = iota
+	VInt
+	VBool
+	VString
+	VBytes
+)
+
+// Value is a first-order VM value: a tagged union over nil, int64, bool,
+// string and []byte. The zero Value is nil.
+type Value struct {
+	Kind  ValueKind
+	Int   int64  // VInt (and VBool: 0/1)
+	Str   string // VString
+	Bytes []byte // VBytes
+}
+
+// Nil is the nil value.
+var Nil = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: VInt, Int: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Value{Kind: VBool, Int: i}
+}
+
+// String_ returns a string value. (Named with a trailing underscore because
+// String is the fmt.Stringer method on Value.)
+func String_(s string) Value { return Value{Kind: VString, Str: s} }
+
+// Str is a short alias for String_.
+func Str(s string) Value { return String_(s) }
+
+// Bytes_ returns a byte-blob value. The slice is not copied; callers must
+// not mutate it after handing it to the VM.
+func Bytes_(b []byte) Value { return Value{Kind: VBytes, Bytes: b} }
+
+// AsInt returns the integer payload, coercing booleans; other kinds yield 0.
+func (v Value) AsInt() int64 {
+	if v.Kind == VInt || v.Kind == VBool {
+		return v.Int
+	}
+	return 0
+}
+
+// AsBool returns the boolean payload; non-bool kinds are truthy if nonzero
+// or nonempty.
+func (v Value) AsBool() bool {
+	switch v.Kind {
+	case VBool, VInt:
+		return v.Int != 0
+	case VString:
+		return v.Str != ""
+	case VBytes:
+		return len(v.Bytes) != 0
+	}
+	return false
+}
+
+// AsString returns the string payload; VBytes is converted, other kinds are
+// formatted.
+func (v Value) AsString() string {
+	switch v.Kind {
+	case VString:
+		return v.Str
+	case VBytes:
+		return string(v.Bytes)
+	case VInt:
+		return strconv.FormatInt(v.Int, 10)
+	case VBool:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// IsNil reports whether the value is the nil value.
+func (v Value) IsNil() bool { return v.Kind == VNil }
+
+// Size returns the payload size in bytes, used by the data-rate profiler
+// and by recorders to account log volume.
+func (v Value) Size() int {
+	switch v.Kind {
+	case VNil:
+		return 0
+	case VInt, VBool:
+		return 8
+	case VString:
+		return len(v.Str)
+	case VBytes:
+		return len(v.Bytes)
+	}
+	return 0
+}
+
+// Equal reports deep equality of two values. Integer and boolean values of
+// equal numeric payload compare equal only within the same kind.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case VNil:
+		return true
+	case VInt, VBool:
+		return v.Int == o.Int
+	case VString:
+		return v.Str == o.Str
+	case VBytes:
+		if len(v.Bytes) != len(o.Bytes) {
+			return false
+		}
+		for i := range v.Bytes {
+			if v.Bytes[i] != o.Bytes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Kind {
+	case VNil:
+		return "nil"
+	case VInt:
+		return strconv.FormatInt(v.Int, 10)
+	case VBool:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	case VString:
+		return strconv.Quote(v.Str)
+	case VBytes:
+		if len(v.Bytes) > 16 {
+			return fmt.Sprintf("bytes[%d]", len(v.Bytes))
+		}
+		return fmt.Sprintf("%q", v.Bytes)
+	}
+	return "?"
+}

@@ -1,0 +1,136 @@
+// Package vclock implements vector clocks for tracking the happens-before
+// partial order among virtual threads.
+//
+// A vector clock maps a thread index to the number of logical steps that
+// thread had completed when the clock was taken. Clocks are compared
+// component-wise: C1 happens-before C2 iff every component of C1 is <= the
+// corresponding component of C2 and at least one is strictly smaller.
+// Two clocks where neither happens before the other are concurrent; that is
+// the condition under which two memory accesses can race.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock. The zero value is a valid clock at the origin
+// (all components zero). Indexes are thread IDs; the vector grows on demand.
+type VC []uint64
+
+// New returns a clock with capacity for n threads, all components zero.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of c.
+func (c VC) Clone() VC {
+	d := make(VC, len(c))
+	copy(d, c)
+	return d
+}
+
+// Get returns component i, treating missing components as zero.
+func (c VC) Get(i int) uint64 {
+	if i < 0 || i >= len(c) {
+		return 0
+	}
+	return c[i]
+}
+
+// Tick increments component i, growing the vector if needed, and returns
+// the (possibly reallocated) clock. Callers must use the return value, as
+// with append.
+func (c VC) Tick(i int) VC {
+	c = c.ensure(i + 1)
+	c[i]++
+	return c
+}
+
+// Set sets component i to v, growing the vector if needed.
+func (c VC) Set(i int, v uint64) VC {
+	c = c.ensure(i + 1)
+	c[i] = v
+	return c
+}
+
+func (c VC) ensure(n int) VC {
+	if len(c) >= n {
+		return c
+	}
+	d := make(VC, n)
+	copy(d, c)
+	return d
+}
+
+// Join merges other into c component-wise (pointwise maximum) and returns
+// the merged clock. Neither input is modified if reallocation occurs; use
+// the return value.
+func (c VC) Join(other VC) VC {
+	c = c.ensure(len(other))
+	for i, v := range other {
+		if v > c[i] {
+			c[i] = v
+		}
+	}
+	return c
+}
+
+// HappensBefore reports whether c happens strictly before other.
+func (c VC) HappensBefore(other VC) bool {
+	le := true
+	lt := false
+	n := len(c)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		a, b := c.Get(i), other.Get(i)
+		if a > b {
+			le = false
+			break
+		}
+		if a < b {
+			lt = true
+		}
+	}
+	return le && lt
+}
+
+// Concurrent reports whether c and other are incomparable under
+// happens-before. Equal clocks are not concurrent.
+func (c VC) Concurrent(other VC) bool {
+	return !c.HappensBefore(other) && !other.HappensBefore(c) && !c.Equal(other)
+}
+
+// Equal reports whether the two clocks are component-wise equal, treating
+// missing components as zero.
+func (c VC) Equal(other VC) bool {
+	n := len(c)
+	if len(other) > n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if c.Get(i) != other.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock as "<t0:3 t2:1>" listing only nonzero components.
+func (c VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	first := true
+	for i, v := range c {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "t%d:%d", i, v)
+	}
+	b.WriteByte('>')
+	return b.String()
+}

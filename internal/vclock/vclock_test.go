@@ -1,0 +1,180 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroClockBehaviour(t *testing.T) {
+	var a, b VC
+	if a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Fatal("zero clocks must not happen-before each other")
+	}
+	if !a.Equal(b) {
+		t.Fatal("zero clocks must be equal")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("equal clocks must not be concurrent")
+	}
+}
+
+func TestTickCreatesHappensBefore(t *testing.T) {
+	a := New(3)
+	b := a.Clone().Tick(1)
+	if !a.HappensBefore(b) {
+		t.Fatal("clock must happen before its tick")
+	}
+	if b.HappensBefore(a) {
+		t.Fatal("tick must not happen before its origin")
+	}
+}
+
+func TestConcurrentTicks(t *testing.T) {
+	base := New(2)
+	a := base.Clone().Tick(0)
+	b := base.Clone().Tick(1)
+	if !a.Concurrent(b) {
+		t.Fatalf("independent ticks must be concurrent: %v vs %v", a, b)
+	}
+}
+
+func TestJoinOrdersBothInputs(t *testing.T) {
+	a := New(2).Tick(0).Tick(0)
+	b := New(2).Tick(1)
+	j := a.Clone().Join(b)
+	if !a.HappensBefore(j.Clone().Tick(0)) {
+		t.Fatal("a must happen before a successor of join(a,b)")
+	}
+	if j.HappensBefore(a) || j.HappensBefore(b) {
+		t.Fatal("join must not happen before its inputs")
+	}
+	if a.HappensBefore(j) == b.HappensBefore(j) && !a.Equal(b) {
+		// Both strictly below join unless one dominates; just sanity.
+		if !(a.HappensBefore(j) && b.HappensBefore(j)) {
+			t.Fatalf("inputs not ordered below join: a=%v b=%v j=%v", a, b, j)
+		}
+	}
+}
+
+func TestGrowthAcrossLengths(t *testing.T) {
+	short := VC{5}
+	long := VC{5, 0, 0}
+	if !short.Equal(long) {
+		t.Fatal("trailing zeros must not affect equality")
+	}
+	longer := long.Clone().Tick(2)
+	if !short.HappensBefore(longer) {
+		t.Fatal("shorter clock must order below grown tick")
+	}
+}
+
+// genVC builds a random clock from quick's random source.
+func genVC(r *rand.Rand) VC {
+	n := 1 + r.Intn(5)
+	c := New(n)
+	for i := range c {
+		c[i] = uint64(r.Intn(8))
+	}
+	return c
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		return a.Clone().Join(b).Equal(b.Clone().Join(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genVC(r), genVC(r), genVC(r)
+		l := a.Clone().Join(b).Join(c)
+		rr := a.Clone().Join(b.Clone().Join(c))
+		return l.Equal(rr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genVC(r)
+		return a.Clone().Join(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHappensBeforeIrreflexiveAndAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		if a.HappensBefore(a) {
+			return false
+		}
+		if a.HappensBefore(b) && b.HappensBefore(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHappensBeforeTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genVC(r)
+		b := a.Clone().Join(genVC(r)).Tick(int(r.Intn(4)))
+		c := b.Clone().Join(genVC(r)).Tick(int(r.Intn(4)))
+		// a < b and b < c by construction (tick after join dominates).
+		if !a.HappensBefore(b) || !b.HappensBefore(c) {
+			return true // construction degenerate; skip
+		}
+		return a.HappensBefore(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExactlyOneRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		n := 0
+		if a.HappensBefore(b) {
+			n++
+		}
+		if b.HappensBefore(a) {
+			n++
+		}
+		if a.Equal(b) {
+			n++
+		}
+		if a.Concurrent(b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendersNonzero(t *testing.T) {
+	c := VC{0, 3, 0, 1}
+	if got := c.String(); got != "<t1:3 t3:1>" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,172 @@
+package vm
+
+import (
+	"fmt"
+
+	"debugdet/internal/trace"
+)
+
+// applyOp executes t's pending operation against machine state, emits the
+// corresponding event, and deposits the result in t. The caller guarantees
+// the op is enabled. All shared state is mutated here, on the machine's
+// goroutine, so the VM needs no internal locking.
+func (m *Machine) applyOp(t *Thread) {
+	req := &t.pending
+	t.result = trace.Nil
+	t.resultOK = true
+
+	switch req.code {
+	case opLoad:
+		c := &m.cells[req.obj]
+		t.result = c.slot.val
+		t.taint |= c.slot.taint
+		m.emit(t, trace.EvLoad, req.site, req.obj, c.slot.val, c.slot.taint)
+
+	case opStore:
+		c := &m.cells[req.obj]
+		v := req.val
+		if req.msg == "add" {
+			v = trace.Int(c.slot.val.AsInt() + req.val.AsInt())
+		}
+		c.slot = slot{val: v, taint: t.taint}
+		t.result = v
+		m.emit(t, trace.EvStore, req.site, req.obj, v, t.taint)
+
+	case opLock:
+		mu := &m.mutexes[req.obj]
+		if mu.owner != -1 {
+			panic("vm: lock applied while held")
+		}
+		mu.owner = t.id
+		m.emit(t, trace.EvLock, req.site, req.obj, trace.Nil, trace.TaintNone)
+
+	case opUnlock:
+		mu := &m.mutexes[req.obj]
+		if mu.owner != t.id {
+			m.emit(t, trace.EvCrash, req.site, req.obj,
+				trace.Str(fmt.Sprintf("unlock of %s by non-owner %s", mu.name, t.name)), trace.TaintNone)
+			return
+		}
+		mu.owner = -1
+		m.emit(t, trace.EvUnlock, req.site, req.obj, trace.Nil, trace.TaintNone)
+
+	case opSend:
+		ch := &m.chans[req.obj]
+		if ch.full() {
+			panic("vm: send applied while full")
+		}
+		ch.buf = append(ch.buf, slot{val: req.val, taint: t.taint})
+		m.emit(t, trace.EvSend, req.site, req.obj, req.val, t.taint)
+
+	case opTrySend:
+		ch := &m.chans[req.obj]
+		if ch.full() {
+			t.resultOK = false
+			m.emit(t, trace.EvYield, req.site, req.obj, trace.Nil, trace.TaintNone)
+			return
+		}
+		ch.buf = append(ch.buf, slot{val: req.val, taint: t.taint})
+		m.emit(t, trace.EvSend, req.site, req.obj, req.val, t.taint)
+
+	case opRecv:
+		ch := &m.chans[req.obj]
+		if ch.empty() {
+			panic("vm: recv applied while empty")
+		}
+		s := ch.buf[0]
+		ch.buf = ch.buf[1:]
+		t.result = s.val
+		t.taint |= s.taint
+		m.emit(t, trace.EvRecv, req.site, req.obj, s.val, s.taint)
+
+	case opTryRecv:
+		ch := &m.chans[req.obj]
+		if ch.empty() {
+			t.resultOK = false
+			m.emit(t, trace.EvYield, req.site, req.obj, trace.Nil, trace.TaintNone)
+			return
+		}
+		s := ch.buf[0]
+		ch.buf = ch.buf[1:]
+		t.result = s.val
+		t.taint |= s.taint
+		m.emit(t, trace.EvRecv, req.site, req.obj, s.val, s.taint)
+
+	case opRecvTimeout:
+		ch := &m.chans[req.obj]
+		if ch.empty() {
+			// Enabled via deadline expiry: timeout result.
+			t.resultOK = false
+			m.emit(t, trace.EvYield, req.site, req.obj, trace.Nil, trace.TaintNone)
+			return
+		}
+		s := ch.buf[0]
+		ch.buf = ch.buf[1:]
+		t.result = s.val
+		t.taint |= s.taint
+		m.emit(t, trace.EvRecv, req.site, req.obj, s.val, s.taint)
+
+	case opInput:
+		s := &m.streams[req.obj]
+		v := m.inputs.Next(s.name, s.inIndex)
+		s.inIndex++
+		t.result = v
+		t.taint |= s.inTaint
+		m.emit(t, trace.EvInput, req.site, req.obj, v, s.inTaint)
+
+	case opOutput:
+		s := &m.streams[req.obj]
+		s.outputs = append(s.outputs, req.val)
+		m.emit(t, trace.EvOutput, req.site, req.obj, req.val, t.taint)
+
+	case opYield:
+		m.emit(t, trace.EvYield, req.site, 0, trace.Nil, trace.TaintNone)
+
+	case opSleep:
+		// The absolute deadline is machine bookkeeping, not part of the
+		// logical execution: replays run on different clocks (recording
+		// overhead absent, time gates relaxed) and must still produce
+		// identical event sequences.
+		m.emit(t, trace.EvSleep, req.site, 0, trace.Nil, trace.TaintNone)
+
+	case opObserve:
+		m.emit(t, trace.EvObserve, req.site, req.obj, req.val, t.taint)
+
+	case opSpawn:
+		child := m.newThread(req.childName, req.childBody)
+		if req.msg == "daemon" {
+			child.daemon = true
+			m.liveNonDaemon--
+		}
+		t.result = trace.Int(int64(child.id))
+		m.emit(t, trace.EvSpawn, req.site, trace.ObjID(child.id), trace.Str(req.childName), trace.TaintNone)
+		if !m.stopped {
+			m.startThread(child)
+		}
+
+	case opExit:
+		t.done = true
+		m.live--
+		if !t.daemon {
+			m.liveNonDaemon--
+		}
+		m.emit(t, trace.EvExit, req.site, 0, trace.Nil, trace.TaintNone)
+
+	case opFail:
+		m.emit(t, trace.EvFail, req.site, 0, trace.Str(req.msg), t.taint)
+
+	case opCrash:
+		m.emit(t, trace.EvCrash, req.site, 0, trace.Str(req.msg), t.taint)
+
+	case opPanic:
+		t.done = true
+		m.live--
+		if !t.daemon {
+			m.liveNonDaemon--
+		}
+		m.emit(t, trace.EvCrash, trace.NoSite, 0, trace.Str("panic: "+req.msg), trace.TaintNone)
+
+	default:
+		panic(fmt.Sprintf("vm: unknown op code %d", req.code))
+	}
+}

@@ -1,0 +1,504 @@
+// Package vm implements a deterministic virtual machine for multi-threaded
+// programs: the execution substrate on which all determinism models in this
+// repository are built.
+//
+// Programs are Go functions written against the Thread API. Every
+// shared-state operation (memory access, lock, channel op, input, output)
+// is a VM operation and a scheduling point. Exactly one virtual thread runs
+// between scheduling points — threads are goroutines, but a baton protocol
+// guarantees only one is ever unparked — so given a scheduler seed and an
+// input source the execution, and hence its event trace, is bit-identical
+// across runs. That property is what record/replay needs and what the Go
+// runtime scheduler cannot provide (see DESIGN.md §1).
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"debugdet/internal/trace"
+)
+
+// Outcome classifies how an execution ended.
+type Outcome uint8
+
+// Outcomes.
+const (
+	OutcomeOK       Outcome = iota // all threads exited normally
+	OutcomeFailed                  // a thread reported a failure (EvFail)
+	OutcomeCrashed                 // a thread crashed (EvCrash)
+	OutcomeDeadlock                // no thread runnable, none sleeping
+	OutcomeDiverged                // replay scheduler could not follow its log
+	OutcomeAborted                 // step limit exceeded
+)
+
+var outcomeNames = [...]string{"ok", "failed", "crashed", "deadlock", "diverged", "aborted"}
+
+// String returns the lower-case outcome name.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	// Seed drives the scheduler's randomness (for seeded schedulers).
+	Seed int64
+	// Scheduler picks the next thread; nil means NewRandomScheduler(Seed).
+	Scheduler Scheduler
+	// Inputs supplies environment values; nil means ZeroInputs.
+	Inputs InputSource
+	// Cost is the virtual-cycle cost model; the zero value is replaced by
+	// DefaultCostModel.
+	Cost CostModel
+	// MaxSteps aborts runaway executions; 0 means the default (4M events).
+	MaxSteps uint64
+	// CollectTrace controls whether the machine keeps the full oracle
+	// trace of the run. Evaluation needs it; pure recording-throughput
+	// benchmarks can disable it.
+	CollectTrace bool
+	// RelaxTime makes time-gated operations (sleep, receive timeouts)
+	// always schedulable. Schedule-forcing replay sets it: the recorded
+	// decision order, not the virtual clock, determines when sleepers
+	// resume, so replays whose clocks differ from the original (recording
+	// overhead is absent) still follow the schedule without spurious
+	// divergence. Results stay consistent because timeout branches
+	// depend on channel state, which evolves identically under the
+	// forced schedule.
+	RelaxTime bool
+}
+
+// Result describes a finished execution.
+type Result struct {
+	Outcome  Outcome
+	Terminal trace.Event // the terminal event when Outcome != OutcomeOK
+	// Trace is the full oracle trace (nil when Config.CollectTrace was
+	// false). This is the evaluation's omniscient view; recorders keep
+	// their own, possibly sparser, logs.
+	Trace *trace.Log
+	// Steps is the number of events applied.
+	Steps uint64
+	// Cycles is the execution's intrinsic virtual time (recording cost
+	// excluded — see RecordCycles).
+	Cycles uint64
+	// RecordCycles is the virtual time observers charged for recording
+	// work. It is accounted separately rather than added to the clock,
+	// so attaching a recorder never perturbs the execution: every model
+	// records the *same* production run, and timeout behaviour is
+	// probe-effect free. Total production time is Cycles + RecordCycles.
+	RecordCycles uint64
+	// Outputs are the per-stream output sequences.
+	Outputs map[string][]trace.Value
+	// InputsUsed are the per-stream input sequences actually consumed.
+	InputsUsed map[string][]trace.Value
+	// DivergedAt holds the event index at which a replay scheduler
+	// diverged, when Outcome == OutcomeDiverged.
+	DivergedAt uint64
+}
+
+// BaseCycles returns the execution's intrinsic virtual time.
+func (r *Result) BaseCycles() uint64 { return r.Cycles }
+
+// TotalCycles returns production time including recording work.
+func (r *Result) TotalCycles() uint64 { return r.Cycles + r.RecordCycles }
+
+// Overhead returns the runtime-overhead ratio (total / base). It is 1.0
+// when nothing was recorded.
+func (r *Result) Overhead() float64 {
+	if r.Cycles == 0 {
+		return 1
+	}
+	return float64(r.TotalCycles()) / float64(r.Cycles)
+}
+
+// Machine is one deterministic virtual machine instance. A machine is
+// single-use: configure it, build the program's objects and threads, call
+// Run once.
+type Machine struct {
+	cfg   Config
+	cost  CostModel
+	sites *trace.SiteTable
+
+	cells   []cellState
+	cellIDs map[string]trace.ObjID
+	mutexes []mutexState
+	chans   []chanState
+	streams []streamState
+
+	streamIDs map[string]trace.ObjID
+
+	threads       []*Thread
+	live          int // threads not yet done
+	liveNonDaemon int // non-daemon threads not yet done
+
+	clock        uint64
+	seq          uint64
+	recordCycles uint64
+
+	sched     Scheduler
+	inputs    InputSource
+	observers []Observer
+
+	yieldCh chan *Thread // threads park by sending themselves here
+
+	running  bool
+	stopped  bool
+	outcome  Outcome
+	terminal trace.Event
+	diverged uint64
+
+	tr *trace.Log
+
+	// enabledBuf is reused across scheduling rounds.
+	enabledBuf []*Thread
+}
+
+// New returns a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = NewRandomScheduler(cfg.Seed)
+	}
+	if cfg.Inputs == nil {
+		cfg.Inputs = ZeroInputs
+	}
+	zero := CostModel{}
+	if cfg.Cost == zero {
+		cfg.Cost = DefaultCostModel()
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 4 << 20
+	}
+	m := &Machine{
+		cfg:       cfg,
+		cost:      cfg.Cost,
+		sites:     trace.NewSiteTable(),
+		streamIDs: make(map[string]trace.ObjID),
+		sched:     cfg.Scheduler,
+		inputs:    cfg.Inputs,
+		yieldCh:   make(chan *Thread),
+	}
+	if cfg.CollectTrace {
+		m.tr = trace.NewLog(trace.Header{Seed: cfg.Seed})
+		m.tr.Sites = m.sites
+	}
+	return m
+}
+
+// Site registers (or looks up) a static program location by name.
+func (m *Machine) Site(name string) trace.SiteID { return m.sites.Register(name) }
+
+// Sites exposes the machine's site table (shared with the oracle trace).
+func (m *Machine) Sites() *trace.SiteTable { return m.sites }
+
+// Cost exposes the cost model, for recorders pricing their work.
+func (m *Machine) Cost() *CostModel { return &m.cost }
+
+// Clock returns the current virtual time.
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// Seq returns the number of events applied so far.
+func (m *Machine) Seq() uint64 { return m.seq }
+
+// Seed returns the configured scheduler seed.
+func (m *Machine) Seed() int64 { return m.cfg.Seed }
+
+// Attach registers an observer. Observers run in attach order on every
+// event.
+func (m *Machine) Attach(o Observer) { m.observers = append(m.observers, o) }
+
+func (m *Machine) checkSetup(op string) {
+	if m.running {
+		panic("vm: " + op + " called after Run started")
+	}
+}
+
+// Run executes main as thread 0 and drives scheduling until all threads
+// exit or a terminal event stops the machine. It must be called exactly
+// once.
+func (m *Machine) Run(main func(*Thread)) *Result {
+	if m.running {
+		panic("vm: Run called twice")
+	}
+	m.running = true
+
+	root := m.newThread("main", main)
+	m.startThread(root)
+
+	for !m.stopped {
+		t := m.pickNext()
+		if t == nil {
+			break
+		}
+		m.applyOp(t)
+		if m.seq >= m.cfg.MaxSteps && !m.stopped {
+			m.stop(OutcomeAborted, trace.Event{
+				Seq: m.seq, Time: m.clock, Kind: trace.EvCrash,
+				Val: trace.Str("step limit exceeded"),
+			})
+		}
+		if m.stopped {
+			break
+		}
+		m.resume(t)
+	}
+	m.releaseAll()
+
+	res := &Result{
+		Outcome:      m.outcome,
+		Terminal:     m.terminal,
+		Trace:        m.tr,
+		Steps:        m.seq,
+		Cycles:       m.clock,
+		RecordCycles: m.recordCycles,
+		Outputs:      make(map[string][]trace.Value),
+		InputsUsed:   make(map[string][]trace.Value),
+		DivergedAt:   m.diverged,
+	}
+	for i := range m.streams {
+		s := &m.streams[i]
+		if len(s.outputs) > 0 {
+			res.Outputs[s.name] = s.outputs
+		}
+	}
+	if m.tr != nil {
+		for name, vals := range inputsFromTrace(m.tr, m.streams) {
+			res.InputsUsed[name] = vals
+		}
+	}
+	return res
+}
+
+func inputsFromTrace(l *trace.Log, streams []streamState) map[string][]trace.Value {
+	out := make(map[string][]trace.Value)
+	for _, e := range l.Events {
+		if e.Kind == trace.EvInput && int(e.Obj) < len(streams) {
+			name := streams[e.Obj].name
+			out[name] = append(out[name], e.Val)
+		}
+	}
+	return out
+}
+
+// pickNext selects the next thread to run among those whose pending op is
+// enabled, advancing virtual time over sleep gaps. It returns nil when the
+// execution is over (all threads done) after recording a deadlock if
+// threads remain blocked forever.
+func (m *Machine) pickNext() *Thread {
+	for {
+		if m.liveNonDaemon == 0 {
+			// The program proper has finished; daemons (network pumps,
+			// server loops) do not keep the machine alive.
+			return nil
+		}
+		enabled := m.enabledThreads()
+		if len(enabled) > 0 {
+			t := m.sched.Pick(m, enabled)
+			if t == nil {
+				// Replay scheduler exhausted or diverged.
+				m.stop(OutcomeDiverged, trace.Event{
+					Seq: m.seq, Time: m.clock, Kind: trace.EvCrash,
+					Val: trace.Str("schedule divergence"),
+				})
+				m.diverged = m.seq
+				return nil
+			}
+			return t
+		}
+		// No thread enabled: either sleepers exist (advance time) or we
+		// are deadlocked.
+		wake, ok := m.earliestDeadline()
+		if !ok {
+			m.emitMachineEvent(trace.EvDeadlock, trace.Str(m.blockedSummary()))
+			m.stop(OutcomeDeadlock, m.terminalFromLast())
+			return nil
+		}
+		if wake > m.clock {
+			m.clock = wake
+		} else {
+			// Deadline already passed yet nothing enabled: defensive;
+			// treat as deadlock to avoid spinning.
+			m.emitMachineEvent(trace.EvDeadlock, trace.Str("timer stall"))
+			m.stop(OutcomeDeadlock, m.terminalFromLast())
+			return nil
+		}
+	}
+}
+
+func (m *Machine) terminalFromLast() trace.Event {
+	if m.tr != nil && len(m.tr.Events) > 0 {
+		return m.tr.Events[len(m.tr.Events)-1]
+	}
+	return trace.Event{Seq: m.seq, Time: m.clock, Kind: trace.EvDeadlock}
+}
+
+// enabledThreads returns live, parked threads whose pending operation can
+// proceed, sorted by thread ID for determinism.
+func (m *Machine) enabledThreads() []*Thread {
+	m.enabledBuf = m.enabledBuf[:0]
+	for _, t := range m.threads {
+		if t.done {
+			continue
+		}
+		if m.enabled(t) {
+			m.enabledBuf = append(m.enabledBuf, t)
+		}
+	}
+	// threads are appended in ID order already; keep the sort as a
+	// defensive invariant (cheap on mostly-sorted input).
+	sort.Slice(m.enabledBuf, func(i, j int) bool { return m.enabledBuf[i].id < m.enabledBuf[j].id })
+	return m.enabledBuf
+}
+
+// enabled reports whether t's pending operation can be applied now.
+func (m *Machine) enabled(t *Thread) bool {
+	req := &t.pending
+	switch req.code {
+	case opLock:
+		return m.mutexes[req.obj].owner == -1
+	case opSend:
+		return !m.chans[req.obj].full()
+	case opRecv:
+		return !m.chans[req.obj].empty()
+	case opSleep:
+		return m.cfg.RelaxTime || m.clock >= req.deadline
+	case opRecvTimeout:
+		return m.cfg.RelaxTime || !m.chans[req.obj].empty() || m.clock >= req.deadline
+	default:
+		return true
+	}
+}
+
+// earliestDeadline returns the soonest wake time among blocked sleepers.
+func (m *Machine) earliestDeadline() (uint64, bool) {
+	var best uint64
+	found := false
+	for _, t := range m.threads {
+		if t.done {
+			continue
+		}
+		c := t.pending.code
+		if c == opSleep || c == opRecvTimeout {
+			if !found || t.pending.deadline < best {
+				best = t.pending.deadline
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// blockedSummary describes what each blocked thread is waiting on, for
+// deadlock diagnostics.
+func (m *Machine) blockedSummary() string {
+	s := ""
+	for _, t := range m.threads {
+		if t.done {
+			continue
+		}
+		if s != "" {
+			s += "; "
+		}
+		switch t.pending.code {
+		case opLock:
+			s += fmt.Sprintf("%s waits lock %s", t.name, m.MutexName(t.pending.obj))
+		case opSend:
+			s += fmt.Sprintf("%s waits send %s", t.name, m.ChanName(t.pending.obj))
+		case opRecv:
+			s += fmt.Sprintf("%s waits recv %s", t.name, m.ChanName(t.pending.obj))
+		default:
+			s += fmt.Sprintf("%s waits %d", t.name, t.pending.code)
+		}
+	}
+	return s
+}
+
+// emit finalizes an event: assigns sequence and time, charges base cost,
+// appends to the oracle trace, and routes it through observers, charging
+// their recording cost.
+func (m *Machine) emit(t *Thread, kind trace.EventKind, site trace.SiteID, obj trace.ObjID, val trace.Value, taint trace.Taint) {
+	m.clock += m.cost.opCost(kind, val.Size())
+	e := trace.Event{
+		Seq:   m.seq,
+		Time:  m.clock,
+		TID:   t.id,
+		Kind:  kind,
+		Site:  site,
+		Obj:   obj,
+		Val:   val,
+		Taint: taint,
+	}
+	m.seq++
+	if m.tr != nil {
+		m.tr.Append(e)
+	}
+	for _, o := range m.observers {
+		rc := o.OnEvent(&e)
+		m.recordCycles += rc
+	}
+	if kind.IsTerminal() {
+		var oc Outcome
+		switch kind {
+		case trace.EvFail:
+			oc = OutcomeFailed
+		case trace.EvCrash:
+			oc = OutcomeCrashed
+		default:
+			oc = OutcomeDeadlock
+		}
+		m.stop(oc, e)
+	}
+}
+
+// emitMachineEvent emits an event attributed to the machine itself (thread
+// -1), used for deadlock reporting.
+func (m *Machine) emitMachineEvent(kind trace.EventKind, val trace.Value) {
+	m.clock += m.cost.opCost(kind, val.Size())
+	e := trace.Event{
+		Seq:  m.seq,
+		Time: m.clock,
+		TID:  -1,
+		Kind: kind,
+		Val:  val,
+	}
+	m.seq++
+	if m.tr != nil {
+		m.tr.Append(e)
+	}
+	for _, o := range m.observers {
+		rc := o.OnEvent(&e)
+		m.recordCycles += rc
+	}
+	m.terminal = e
+}
+
+// stop halts scheduling. Parked threads are released by releaseAll.
+func (m *Machine) stop(oc Outcome, term trace.Event) {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	m.outcome = oc
+	m.terminal = term
+}
+
+// releaseAll unparks every live thread so its goroutine can unwind; the
+// syscall path panics with errMachineStopped which threadMain swallows.
+func (m *Machine) releaseAll() {
+	m.stopped = true
+	if m.outcome == OutcomeOK && m.liveNonDaemon > 0 {
+		// Stopped with live non-daemon threads but OK outcome cannot
+		// happen via stop(); defensive. Live daemons at completion are
+		// normal (network pumps, server loops).
+		m.outcome = OutcomeAborted
+	}
+	for _, t := range m.threads {
+		if !t.done {
+			t.done = true
+			m.live--
+			t.resumeCh <- struct{}{}
+			<-t.unwound
+		}
+	}
+}

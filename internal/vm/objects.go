@@ -1,0 +1,194 @@
+package vm
+
+import (
+	"fmt"
+
+	"debugdet/internal/trace"
+)
+
+// slot is a value together with its provenance, stored in memory cells and
+// channel buffers.
+type slot struct {
+	val   trace.Value
+	taint trace.Taint
+}
+
+// cellState is one shared-memory cell.
+type cellState struct {
+	name string
+	slot slot
+}
+
+// mutexState is one mutex. owner is -1 when the mutex is free.
+type mutexState struct {
+	name  string
+	owner trace.ThreadID
+}
+
+// chanState is one FIFO channel with a fixed capacity (capacity 0 is not
+// supported; the VM has no rendezvous channels — use capacity 1 for
+// near-synchronous handoff).
+type chanState struct {
+	name string
+	cap  int
+	buf  []slot
+}
+
+func (c *chanState) full() bool  { return len(c.buf) >= c.cap }
+func (c *chanState) empty() bool { return len(c.buf) == 0 }
+
+// streamState is one input or output stream connecting the program to its
+// environment.
+type streamState struct {
+	name     string
+	inIndex  int           // next input index to consume
+	outputs  []trace.Value // outputs emitted so far
+	inTaint  trace.Taint   // taint class applied to inputs from this stream
+	declared bool          // registered explicitly (vs auto-created)
+}
+
+// NewCell registers a shared-memory cell with an initial value and returns
+// its object ID. Cells must be created before Run.
+func (m *Machine) NewCell(name string, init trace.Value) trace.ObjID {
+	m.checkSetup("NewCell")
+	id := trace.ObjID(len(m.cells))
+	m.cells = append(m.cells, cellState{name: name, slot: slot{val: init}})
+	if m.cellIDs == nil {
+		m.cellIDs = make(map[string]trace.ObjID)
+	}
+	m.cellIDs[name] = id
+	return id
+}
+
+// CellID resolves a cell by its registered name. Evaluation predicates use
+// it to inspect final state by name.
+func (m *Machine) CellID(name string) (trace.ObjID, bool) {
+	id, ok := m.cellIDs[name]
+	return id, ok
+}
+
+// CellByName returns the current value of the named cell (Nil when the
+// name is unknown).
+func (m *Machine) CellByName(name string) trace.Value {
+	if id, ok := m.cellIDs[name]; ok {
+		return m.CellValue(id)
+	}
+	return trace.Nil
+}
+
+// NewCells registers n cells named name[0..n) and returns their IDs.
+func (m *Machine) NewCells(name string, n int, init trace.Value) []trace.ObjID {
+	ids := make([]trace.ObjID, n)
+	for i := range ids {
+		ids[i] = m.NewCell(fmt.Sprintf("%s[%d]", name, i), init)
+	}
+	return ids
+}
+
+// NewMutex registers a mutex and returns its object ID.
+func (m *Machine) NewMutex(name string) trace.ObjID {
+	m.checkSetup("NewMutex")
+	id := trace.ObjID(len(m.mutexes))
+	m.mutexes = append(m.mutexes, mutexState{name: name, owner: -1})
+	return id
+}
+
+// NewChan registers a FIFO channel with the given capacity (minimum 1) and
+// returns its object ID.
+func (m *Machine) NewChan(name string, capacity int) trace.ObjID {
+	m.checkSetup("NewChan")
+	if capacity < 1 {
+		capacity = 1
+	}
+	id := trace.ObjID(len(m.chans))
+	m.chans = append(m.chans, chanState{name: name, cap: capacity})
+	return id
+}
+
+// Stream returns the object ID for a named environment stream, registering
+// it on first use with no input taint. Streams may be registered lazily.
+func (m *Machine) Stream(name string) trace.ObjID {
+	if id, ok := m.streamIDs[name]; ok {
+		return id
+	}
+	id := trace.ObjID(len(m.streams))
+	m.streams = append(m.streams, streamState{name: name})
+	m.streamIDs[name] = id
+	return id
+}
+
+// DeclareStream registers a stream and sets the taint class its inputs
+// carry. Use trace.TaintData for bulk payload sources, trace.TaintControl
+// for configuration and metadata, trace.TaintEnv for environment events
+// such as fault injection.
+func (m *Machine) DeclareStream(name string, taint trace.Taint) trace.ObjID {
+	id := m.Stream(name)
+	m.streams[id].inTaint = taint
+	m.streams[id].declared = true
+	return id
+}
+
+// CellName returns the registered name of a cell.
+func (m *Machine) CellName(id trace.ObjID) string {
+	if int(id) < len(m.cells) {
+		return m.cells[id].name
+	}
+	return ""
+}
+
+// MutexName returns the registered name of a mutex.
+func (m *Machine) MutexName(id trace.ObjID) string {
+	if int(id) < len(m.mutexes) {
+		return m.mutexes[id].name
+	}
+	return ""
+}
+
+// ChanName returns the registered name of a channel.
+func (m *Machine) ChanName(id trace.ObjID) string {
+	if int(id) < len(m.chans) {
+		return m.chans[id].name
+	}
+	return ""
+}
+
+// StreamName returns the registered name of a stream.
+func (m *Machine) StreamName(id trace.ObjID) string {
+	if int(id) < len(m.streams) {
+		return m.streams[id].name
+	}
+	return ""
+}
+
+// StreamID returns the ID of a registered stream and whether it exists,
+// without registering it.
+func (m *Machine) StreamID(name string) (trace.ObjID, bool) {
+	id, ok := m.streamIDs[name]
+	return id, ok
+}
+
+// StreamNames returns all stream names indexed by their object ID.
+func (m *Machine) StreamNames() []string {
+	out := make([]string, len(m.streams))
+	for i := range m.streams {
+		out[i] = m.streams[i].name
+	}
+	return out
+}
+
+// CellValue returns the current value of a cell. Intended for assertions in
+// tests and for failure specifications evaluated after Run returns.
+func (m *Machine) CellValue(id trace.ObjID) trace.Value {
+	if int(id) < len(m.cells) {
+		return m.cells[id].slot.val
+	}
+	return trace.Nil
+}
+
+// ChanLen returns the number of buffered values in a channel.
+func (m *Machine) ChanLen(id trace.ObjID) int {
+	if int(id) < len(m.chans) {
+		return len(m.chans[id].buf)
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"math/rand"
+
+	"debugdet/internal/trace"
+)
+
+// Observer receives every event the machine applies, in order. Observers
+// implement recorders, online detectors and triggers. The returned value is
+// the number of virtual cycles the observer's work costs at runtime
+// (recording cost); the machine adds it to the clock and accounts it
+// separately so overhead ratios can be computed. Pure analysis observers
+// (oracles that a production system would not run) return 0.
+type Observer interface {
+	OnEvent(e *trace.Event) uint64
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(e *trace.Event) uint64
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e *trace.Event) uint64 { return f(e) }
+
+// InputSource supplies the program's environment: the value returned by the
+// i-th Input operation on a stream. Implementations must be deterministic
+// functions of (stream, index) so that executions are reproducible from the
+// seed alone.
+type InputSource interface {
+	Next(stream string, index int) trace.Value
+}
+
+// InputSourceFunc adapts a function to the InputSource interface.
+type InputSourceFunc func(stream string, index int) trace.Value
+
+// Next implements InputSource.
+func (f InputSourceFunc) Next(stream string, index int) trace.Value { return f(stream, index) }
+
+// ZeroInputs is an input source that returns zero for every request.
+var ZeroInputs InputSource = InputSourceFunc(func(string, int) trace.Value { return trace.Int(0) })
+
+// SeededInputs returns a deterministic pseudo-random input source: the
+// value for (stream, index) is derived from hashing the stream name, the
+// index and the seed, and is uniform in [0, limit). It is stateless, so the
+// same (stream, index) always yields the same value regardless of
+// consumption order.
+func SeededInputs(seed int64, limit int64) InputSource {
+	return InputSourceFunc(func(stream string, index int) trace.Value {
+		return trace.Int(hashInput(seed, stream, index) % limit)
+	})
+}
+
+// hashInput mixes (seed, stream, index) into a non-negative int64 using an
+// FNV-1a/splitmix-style construction. It is the deterministic randomness
+// primitive for input sources.
+func hashInput(seed int64, stream string, index int) int64 {
+	h := uint64(1469598103934665603) ^ uint64(seed)*1099511628211
+	for i := 0; i < len(stream); i++ {
+		h = (h ^ uint64(stream[i])) * 1099511628211
+	}
+	h = (h ^ uint64(index)) * 1099511628211
+	// splitmix64 finalizer for avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	v := int64(h &^ (1 << 63))
+	return v
+}
+
+// HashValue exposes the deterministic hash for workloads that need
+// reproducible pseudo-random decisions outside the input mechanism (for
+// example, sizing a payload from a request index).
+func HashValue(seed int64, stream string, index int) int64 { return hashInput(seed, stream, index) }
+
+// MapInputs is an input source backed by explicit per-stream value
+// sequences, falling back to a base source when a stream runs out. It is
+// how the inference engine forces candidate inputs during execution
+// synthesis.
+type MapInputs struct {
+	Values map[string][]trace.Value
+	Base   InputSource
+}
+
+// Next implements InputSource.
+func (m *MapInputs) Next(stream string, index int) trace.Value {
+	if vs, ok := m.Values[stream]; ok && index < len(vs) {
+		return vs[index]
+	}
+	if m.Base != nil {
+		return m.Base.Next(stream, index)
+	}
+	return trace.Int(0)
+}
+
+// newRand returns a rand.Rand seeded deterministically; all VM-internal
+// randomness goes through this so runs are reproducible.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,114 @@
+package vm
+
+import "debugdet/internal/trace"
+
+// PendingOp is a read-only view of a parked thread's next operation, with
+// the event it would produce if applied in the current machine state. The
+// value-deterministic replayer uses it to pick, at every step, a thread
+// whose next event matches the recorded per-thread log (greedy value-guided
+// scheduling).
+type PendingOp struct {
+	Kind trace.EventKind
+	Site trace.SiteID
+	Obj  trace.ObjID
+	// Val is the predicted event value: the value that would be read
+	// (loads, receives, inputs), written (stores) or transmitted (sends,
+	// outputs). ValKnown is false when the value cannot be predicted
+	// without applying the op.
+	Val      trace.Value
+	ValKnown bool
+}
+
+// PeekEvent predicts the event thread t would emit if its pending op were
+// applied now. The prediction is only meaningful while t is parked and its
+// op is enabled; ok is false otherwise. Peeking never mutates machine
+// state: in particular it does not consume inputs or channel slots.
+func (m *Machine) PeekEvent(t *Thread) (PendingOp, bool) {
+	if t.done {
+		return PendingOp{}, false
+	}
+	req := &t.pending
+	p := PendingOp{Site: req.site, Obj: req.obj}
+	switch req.code {
+	case opLoad:
+		p.Kind = trace.EvLoad
+		p.Val = m.cells[req.obj].slot.val
+		p.ValKnown = true
+	case opStore:
+		p.Kind = trace.EvStore
+		if req.msg == "add" {
+			p.Val = trace.Int(m.cells[req.obj].slot.val.AsInt() + req.val.AsInt())
+		} else {
+			p.Val = req.val
+		}
+		p.ValKnown = true
+	case opLock:
+		p.Kind = trace.EvLock
+	case opUnlock:
+		p.Kind = trace.EvUnlock
+	case opSend:
+		p.Kind = trace.EvSend
+		p.Val = req.val
+		p.ValKnown = true
+	case opTrySend:
+		// A try-send against a full channel emits a yield, not a send.
+		if m.chans[req.obj].full() {
+			p.Kind = trace.EvYield
+		} else {
+			p.Kind = trace.EvSend
+			p.Val = req.val
+			p.ValKnown = true
+		}
+	case opRecv, opTryRecv, opRecvTimeout:
+		if ch := &m.chans[req.obj]; !ch.empty() {
+			p.Kind = trace.EvRecv
+			p.Val = ch.buf[0].val
+			p.ValKnown = true
+		} else if req.code == opRecv {
+			p.Kind = trace.EvRecv
+		} else {
+			// Try/timeout variants fall through to a yield when empty.
+			p.Kind = trace.EvYield
+		}
+	case opInput:
+		p.Kind = trace.EvInput
+		s := &m.streams[req.obj]
+		p.Val = m.inputs.Next(s.name, s.inIndex)
+		p.ValKnown = true
+	case opOutput:
+		p.Kind = trace.EvOutput
+		p.Val = req.val
+		p.ValKnown = true
+	case opYield:
+		p.Kind = trace.EvYield
+	case opSleep:
+		p.Kind = trace.EvSleep
+	case opObserve:
+		p.Kind = trace.EvObserve
+		p.Val = req.val
+		p.ValKnown = true
+	case opSpawn:
+		p.Kind = trace.EvSpawn
+	case opExit:
+		p.Kind = trace.EvExit
+	case opFail:
+		p.Kind = trace.EvFail
+		p.Val = trace.Str(req.msg)
+		p.ValKnown = true
+	case opCrash, opPanic:
+		p.Kind = trace.EvCrash
+		p.Val = trace.Str(req.msg)
+		p.ValKnown = true
+	default:
+		return PendingOp{}, false
+	}
+	return p, true
+}
+
+// ThreadName returns the name of the thread with the given ID, or "".
+func (m *Machine) ThreadName(id trace.ThreadID) string {
+	if int(id) < len(m.threads) {
+		return m.threads[id].name
+	}
+	return ""
+}

@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"debugdet/internal/trace"
+)
+
+// randomProgram builds a random multi-threaded program from a seed: a few
+// threads performing random loads, stores, lock pairs, channel ops, inputs
+// and outputs over shared state. Programs are constructed to terminate:
+// loops are bounded and channel operations use try-variants.
+type randomProgram struct {
+	threads int
+	ops     [][]randomOp
+}
+
+type randomOp struct {
+	kind int // 0 load, 1 store, 2 lock/unlock pair, 3 trysend, 4 tryrecv, 5 input, 6 output, 7 yield, 8 add
+	obj  int
+	val  int64
+}
+
+func genProgram(r *rand.Rand) randomProgram {
+	p := randomProgram{threads: 1 + r.Intn(4)}
+	p.ops = make([][]randomOp, p.threads)
+	for t := range p.ops {
+		n := 1 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			p.ops[t] = append(p.ops[t], randomOp{
+				kind: r.Intn(9),
+				obj:  r.Intn(4),
+				val:  int64(r.Intn(1000)),
+			})
+		}
+	}
+	return p
+}
+
+// build materializes the program on a machine.
+func (p randomProgram) build(m *Machine) func(*Thread) {
+	cells := m.NewCells("cell", 4, trace.Int(0))
+	var mus, chans []trace.ObjID
+	for i := 0; i < 4; i++ {
+		mus = append(mus, m.NewMutex("mu"))
+		chans = append(chans, m.NewChan("ch", 2))
+	}
+	in := m.DeclareStream("in", trace.TaintData)
+	out := m.Stream("out")
+	site := m.Site("op")
+	spawn := m.Site("spawn")
+
+	runOps := func(t *Thread, ops []randomOp) {
+		for _, op := range ops {
+			switch op.kind {
+			case 0:
+				t.Load(site, cells[op.obj])
+			case 1:
+				t.Store(site, cells[op.obj], trace.Int(op.val))
+			case 2:
+				t.Lock(site, mus[op.obj])
+				t.Store(site, cells[op.obj], trace.Int(op.val))
+				t.Unlock(site, mus[op.obj])
+			case 3:
+				t.TrySend(site, chans[op.obj], trace.Int(op.val))
+			case 4:
+				t.TryRecv(site, chans[op.obj])
+			case 5:
+				t.Input(site, in)
+			case 6:
+				t.Output(site, out, trace.Int(op.val))
+			case 7:
+				t.Yield(site)
+			case 8:
+				t.Add(site, cells[op.obj], 1)
+			}
+		}
+	}
+	return func(t *Thread) {
+		for w := 1; w < p.threads; w++ {
+			ops := p.ops[w]
+			t.Spawn(spawn, "w", func(t *Thread) { runOps(t, ops) })
+		}
+		runOps(t, p.ops[0])
+	}
+}
+
+func runProgram(p randomProgram, sched Scheduler, seed int64) *Result {
+	m := New(Config{Seed: seed, Scheduler: sched, Inputs: SeededInputs(seed, 100), CollectTrace: true})
+	main := p.build(m)
+	return m.Run(main)
+}
+
+// TestQuickRandomProgramsTerminateCleanly: random programs built from the
+// generator never wedge the machine.
+func TestQuickRandomProgramsTerminateCleanly(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := genProgram(r)
+		res := runProgram(p, NewRandomScheduler(seed), seed)
+		return res.Outcome == OutcomeOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminism: same seed, same program — bit-identical traces.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := genProgram(r)
+		a := runProgram(p, NewRandomScheduler(seed), seed)
+		b := runProgram(p, NewRandomScheduler(seed), seed)
+		return trace.EventsEqual(a.Trace, b.Trace, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReplayFidelity: the schedule extracted from any execution
+// replays to the identical execution — the foundational record/replay
+// property, checked across random programs and schedulers.
+func TestQuickReplayFidelity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := genProgram(r)
+		orig := runProgram(p, NewRandomScheduler(seed), seed)
+		rep := runProgram(p, NewReplayScheduler(orig.Trace.Schedule()), seed)
+		return trace.EventsEqual(orig.Trace, rep.Trace, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPCTReplayFidelity: the property holds for PCT-generated
+// executions too (the inference engine relies on it).
+func TestQuickPCTReplayFidelity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := genProgram(r)
+		orig := runProgram(p, NewPCTScheduler(seed, 256, 3), seed)
+		rep := runProgram(p, NewReplayScheduler(orig.Trace.Schedule()), seed)
+		return trace.EventsEqual(orig.Trace, rep.Trace, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickObserversDoNotPerturb: attaching a costly observer never
+// changes the execution (probe-effect freedom).
+func TestQuickObserversDoNotPerturb(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := genProgram(r)
+		plain := runProgram(p, NewRandomScheduler(seed), seed)
+
+		m := New(Config{Seed: seed, Scheduler: NewRandomScheduler(seed), Inputs: SeededInputs(seed, 100), CollectTrace: true})
+		main := p.build(m)
+		m.Attach(ObserverFunc(func(*trace.Event) uint64 { return 1000 }))
+		observed := m.Run(main)
+
+		return trace.EventsEqual(plain.Trace, observed.Trace, true) &&
+			observed.RecordCycles > 0 &&
+			plain.Cycles == observed.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScheduleIsTotalOrderOfEvents: every event's thread appears in
+// the schedule at its position — schedules and traces are two views of
+// one decision sequence.
+func TestQuickScheduleIsTotalOrderOfEvents(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := genProgram(r)
+		res := runProgram(p, NewRandomScheduler(seed), seed)
+		sched := res.Trace.Schedule()
+		if len(sched) != len(res.Trace.Events) {
+			return false
+		}
+		for i, e := range res.Trace.Events {
+			if sched[i] != e.TID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

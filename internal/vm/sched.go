@@ -1,0 +1,208 @@
+package vm
+
+import (
+	"math/rand"
+
+	"debugdet/internal/trace"
+)
+
+// Scheduler picks the next thread to run among the enabled set. enabled is
+// nonempty and sorted by thread ID. Returning nil signals that the
+// scheduler cannot continue (replay divergence); the machine then stops
+// with OutcomeDiverged.
+type Scheduler interface {
+	Name() string
+	Pick(m *Machine, enabled []*Thread) *Thread
+}
+
+// RoundRobinScheduler runs threads in ID order, advancing on every pick.
+// It is fully deterministic with no seed and useful as a baseline and in
+// tests.
+type RoundRobinScheduler struct {
+	next int
+}
+
+// NewRoundRobinScheduler returns a round-robin scheduler.
+func NewRoundRobinScheduler() *RoundRobinScheduler { return &RoundRobinScheduler{} }
+
+// Name implements Scheduler.
+func (s *RoundRobinScheduler) Name() string { return "roundrobin" }
+
+// Pick implements Scheduler.
+func (s *RoundRobinScheduler) Pick(_ *Machine, enabled []*Thread) *Thread {
+	// Choose the first enabled thread with ID >= next, wrapping around.
+	for _, t := range enabled {
+		if int(t.id) >= s.next {
+			s.next = int(t.id) + 1
+			return t
+		}
+	}
+	t := enabled[0]
+	s.next = int(t.id) + 1
+	return t
+}
+
+// RandomScheduler picks uniformly at random among enabled threads using a
+// seeded generator: the production scheduler model. Same seed, same
+// program, same inputs — same execution.
+type RandomScheduler struct {
+	rng *rand.Rand
+}
+
+// NewRandomScheduler returns a seeded random scheduler.
+func NewRandomScheduler(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: newRand(seed)}
+}
+
+// Name implements Scheduler.
+func (s *RandomScheduler) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (s *RandomScheduler) Pick(_ *Machine, enabled []*Thread) *Thread {
+	return enabled[s.rng.Intn(len(enabled))]
+}
+
+// PCTScheduler implements the probabilistic concurrency testing strategy:
+// each thread gets a random priority; the highest-priority enabled thread
+// runs; at a small number of random change points the running thread's
+// priority drops below everyone else's. PCT finds rare orderings with
+// provable probability and is used by the inference engine to diversify
+// its search.
+type PCTScheduler struct {
+	rng         *rand.Rand
+	prio        map[trace.ThreadID]int
+	nextPrio    int
+	changeAt    map[uint64]bool
+	lowWatermrk int
+}
+
+// NewPCTScheduler returns a PCT scheduler with the given number of
+// priority-change points spread over an expected execution length.
+func NewPCTScheduler(seed int64, expectedLen uint64, changePoints int) *PCTScheduler {
+	rng := newRand(seed)
+	s := &PCTScheduler{
+		rng:      rng,
+		prio:     make(map[trace.ThreadID]int),
+		changeAt: make(map[uint64]bool),
+	}
+	if expectedLen == 0 {
+		expectedLen = 1
+	}
+	for i := 0; i < changePoints; i++ {
+		s.changeAt[uint64(rng.Int63n(int64(expectedLen)))] = true
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *PCTScheduler) Name() string { return "pct" }
+
+// Pick implements Scheduler.
+func (s *PCTScheduler) Pick(m *Machine, enabled []*Thread) *Thread {
+	// Assign arrival priorities lazily; later arrivals get random ranks.
+	for _, t := range enabled {
+		if _, ok := s.prio[t.id]; !ok {
+			s.nextPrio++
+			s.prio[t.id] = s.rng.Intn(1000000)
+		}
+	}
+	best := enabled[0]
+	for _, t := range enabled[1:] {
+		if s.prio[t.id] > s.prio[best.id] {
+			best = t
+		}
+	}
+	if s.changeAt[m.seq] {
+		s.lowWatermrk--
+		s.prio[best.id] = s.lowWatermrk
+	}
+	return best
+}
+
+// ReplayScheduler forces the thread order of a recorded schedule. When the
+// log runs out or the demanded thread is not enabled, behaviour depends on
+// Fallback: nil means divergence (machine stops with OutcomeDiverged);
+// otherwise the fallback scheduler takes over, which is how sketch-guided
+// inference completes partial schedules.
+type ReplayScheduler struct {
+	schedule []trace.ThreadID
+	pos      int
+	Fallback Scheduler
+	// Diverged reports whether the scheduler ever had to abandon the log.
+	Diverged bool
+}
+
+// NewReplayScheduler returns a scheduler that replays the given thread
+// order strictly.
+func NewReplayScheduler(schedule []trace.ThreadID) *ReplayScheduler {
+	return &ReplayScheduler{schedule: schedule}
+}
+
+// Name implements Scheduler.
+func (s *ReplayScheduler) Name() string { return "replay" }
+
+// Pos returns how many decisions have been consumed.
+func (s *ReplayScheduler) Pos() int { return s.pos }
+
+// Pick implements Scheduler.
+func (s *ReplayScheduler) Pick(m *Machine, enabled []*Thread) *Thread {
+	if s.pos < len(s.schedule) {
+		want := s.schedule[s.pos]
+		for _, t := range enabled {
+			if t.id == want {
+				s.pos++
+				return t
+			}
+		}
+		// Demanded thread not enabled.
+		s.Diverged = true
+		if s.Fallback != nil {
+			return s.Fallback.Pick(m, enabled)
+		}
+		return nil
+	}
+	// Log exhausted.
+	if s.Fallback != nil {
+		return s.Fallback.Pick(m, enabled)
+	}
+	if len(enabled) == 1 {
+		// Unique continuation: allow runs to finish deterministically
+		// past the recorded horizon.
+		return enabled[0]
+	}
+	s.Diverged = true
+	return nil
+}
+
+// SketchScheduler forces specific decisions at specific global steps and
+// delegates everything else to a base scheduler. The inference engine uses
+// it to pin down the ordering fragments it has already established while
+// searching over the rest.
+type SketchScheduler struct {
+	Forced map[uint64]trace.ThreadID
+	Base   Scheduler
+	// Misses counts forced decisions that could not be honoured because
+	// the demanded thread was not enabled.
+	Misses int
+}
+
+// NewSketchScheduler returns a sketch scheduler over the given base.
+func NewSketchScheduler(forced map[uint64]trace.ThreadID, base Scheduler) *SketchScheduler {
+	return &SketchScheduler{Forced: forced, Base: base}
+}
+
+// Name implements Scheduler.
+func (s *SketchScheduler) Name() string { return "sketch" }
+
+// Pick implements Scheduler.
+func (s *SketchScheduler) Pick(m *Machine, enabled []*Thread) *Thread {
+	if want, ok := s.Forced[m.seq]; ok {
+		for _, t := range enabled {
+			if t.id == want {
+				return t
+			}
+		}
+		s.Misses++
+	}
+	return s.Base.Pick(m, enabled)
+}

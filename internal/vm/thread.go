@@ -1,0 +1,301 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"debugdet/internal/trace"
+)
+
+// errMachineStopped is panicked through a parked thread's stack when the
+// machine halts, so the goroutine unwinds promptly. It never escapes
+// threadMain.
+var errMachineStopped = errors.New("vm: machine stopped")
+
+// opCode identifies a pending thread operation. Codes are distinct from
+// event kinds because several ops (try-variants, timeouts, panic) map onto
+// the same event kinds with different blocking behaviour.
+type opCode uint8
+
+const (
+	opNone opCode = iota
+	opLoad
+	opStore
+	opLock
+	opUnlock
+	opSend
+	opRecv
+	opTrySend
+	opTryRecv
+	opRecvTimeout
+	opInput
+	opOutput
+	opYield
+	opSleep
+	opObserve
+	opSpawn
+	opExit
+	opFail
+	opCrash
+	opPanic
+)
+
+// opReq is a pending operation, filled in by the thread before parking.
+type opReq struct {
+	code      opCode
+	site      trace.SiteID
+	obj       trace.ObjID
+	val       trace.Value
+	deadline  uint64 // absolute virtual time for sleep/timeout
+	msg       string
+	childName string
+	childBody func(*Thread)
+}
+
+// Thread is a virtual thread. Program bodies receive a *Thread and perform
+// all shared-state operations through it. A Thread must only be used from
+// its own body function.
+type Thread struct {
+	m    *Machine
+	id   trace.ThreadID
+	name string
+	body func(*Thread)
+
+	resumeCh chan struct{}
+	unwound  chan struct{}
+
+	pending  opReq
+	result   trace.Value
+	resultOK bool
+
+	taint trace.Taint
+
+	daemon bool
+	done   bool
+}
+
+// Daemon reports whether the thread is a daemon (see SpawnDaemon).
+func (t *Thread) Daemon() bool { return t.daemon }
+
+// ID returns the thread's ID (main is 0; children are numbered in spawn
+// order).
+func (t *Thread) ID() trace.ThreadID { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Now returns the current virtual time. Reading the clock is not a
+// scheduling point.
+func (t *Thread) Now() uint64 { return t.m.clock }
+
+// Taint returns the thread's accumulated taint register.
+func (t *Thread) Taint() trace.Taint { return t.taint }
+
+// ClearTaint resets the taint register. Programs call it at request
+// boundaries so per-request provenance is meaningful.
+func (t *Thread) ClearTaint() { t.taint = trace.TaintNone }
+
+// AddTaint ORs bits into the taint register (used by workloads that model
+// out-of-band provenance).
+func (t *Thread) AddTaint(x trace.Taint) { t.taint |= x }
+
+// syscall parks the thread with a pending op and waits until the machine
+// has applied it. It returns the op result.
+func (t *Thread) syscall(req opReq) trace.Value {
+	t.pending = req
+	t.m.yieldCh <- t
+	<-t.resumeCh
+	if t.m.stopped {
+		panic(errMachineStopped)
+	}
+	return t.result
+}
+
+// Load reads a memory cell.
+func (t *Thread) Load(site trace.SiteID, cell trace.ObjID) trace.Value {
+	return t.syscall(opReq{code: opLoad, site: site, obj: cell})
+}
+
+// Store writes a memory cell.
+func (t *Thread) Store(site trace.SiteID, cell trace.ObjID, v trace.Value) {
+	t.syscall(opReq{code: opStore, site: site, obj: cell, val: v})
+}
+
+// Add atomically adds delta to an integer cell and returns the new value.
+// It is a single operation (no race window), modelling an atomic RMW
+// instruction.
+func (t *Thread) Add(site trace.SiteID, cell trace.ObjID, delta int64) trace.Value {
+	return t.syscall(opReq{code: opStore, site: site, obj: cell, val: trace.Int(delta), msg: "add"})
+}
+
+// Lock acquires a mutex, blocking until it is free.
+func (t *Thread) Lock(site trace.SiteID, mu trace.ObjID) {
+	t.syscall(opReq{code: opLock, site: site, obj: mu})
+}
+
+// Unlock releases a mutex. Unlocking a mutex the thread does not own
+// crashes the execution.
+func (t *Thread) Unlock(site trace.SiteID, mu trace.ObjID) {
+	t.syscall(opReq{code: opUnlock, site: site, obj: mu})
+}
+
+// Send enqueues v on a channel, blocking while it is full.
+func (t *Thread) Send(site trace.SiteID, ch trace.ObjID, v trace.Value) {
+	t.syscall(opReq{code: opSend, site: site, obj: ch, val: v})
+}
+
+// Recv dequeues from a channel, blocking while it is empty.
+func (t *Thread) Recv(site trace.SiteID, ch trace.ObjID) trace.Value {
+	return t.syscall(opReq{code: opRecv, site: site, obj: ch})
+}
+
+// TrySend enqueues v if the channel has room and reports whether it did.
+// It never blocks; a full channel drops nothing and returns false.
+func (t *Thread) TrySend(site trace.SiteID, ch trace.ObjID, v trace.Value) bool {
+	t.syscall(opReq{code: opTrySend, site: site, obj: ch, val: v})
+	return t.resultOK
+}
+
+// TryRecv dequeues if the channel is nonempty. It never blocks.
+func (t *Thread) TryRecv(site trace.SiteID, ch trace.ObjID) (trace.Value, bool) {
+	v := t.syscall(opReq{code: opTryRecv, site: site, obj: ch})
+	return v, t.resultOK
+}
+
+// RecvTimeout dequeues from a channel, giving up after d virtual cycles.
+// The second result is false on timeout.
+func (t *Thread) RecvTimeout(site trace.SiteID, ch trace.ObjID, d uint64) (trace.Value, bool) {
+	v := t.syscall(opReq{code: opRecvTimeout, site: site, obj: ch, deadline: t.m.clock + d})
+	return v, t.resultOK
+}
+
+// Input obtains the next value from an environment stream. The value comes
+// from the machine's InputSource (or, under replay, from the forcing
+// layer); its taint class is the stream's declared class.
+func (t *Thread) Input(site trace.SiteID, stream trace.ObjID) trace.Value {
+	return t.syscall(opReq{code: opInput, site: site, obj: stream})
+}
+
+// Output emits a value on an environment stream. Outputs are the program's
+// observable behaviour; failure specifications are predicates over them.
+func (t *Thread) Output(site trace.SiteID, stream trace.ObjID, v trace.Value) {
+	t.syscall(opReq{code: opOutput, site: site, obj: stream, val: v})
+}
+
+// Yield is a pure scheduling point.
+func (t *Thread) Yield(site trace.SiteID) {
+	t.syscall(opReq{code: opYield, site: site})
+}
+
+// Sleep blocks the thread for at least d virtual cycles.
+func (t *Thread) Sleep(site trace.SiteID, d uint64) {
+	t.syscall(opReq{code: opSleep, site: site, deadline: t.m.clock + d})
+}
+
+// Observe emits an invariant probe: a named value sample that the
+// invariant-inference and monitoring passes consume. probe identifies the
+// observation point within the site.
+func (t *Thread) Observe(site trace.SiteID, probe trace.ObjID, v trace.Value) {
+	t.syscall(opReq{code: opObserve, site: site, obj: probe, val: v})
+}
+
+// Spawn starts a new thread running body and returns its ID. The child is
+// runnable immediately; whether it runs before the parent's next operation
+// is a scheduling decision.
+func (t *Thread) Spawn(site trace.SiteID, name string, body func(*Thread)) trace.ThreadID {
+	v := t.syscall(opReq{code: opSpawn, site: site, childName: name, childBody: body})
+	return trace.ThreadID(v.AsInt())
+}
+
+// SpawnDaemon starts a daemon thread: a service thread (network pump,
+// server loop) that does not keep the machine alive. When every non-daemon
+// thread has exited, the run completes cleanly regardless of daemon state,
+// and daemons blocked forever do not count as a deadlock.
+func (t *Thread) SpawnDaemon(site trace.SiteID, name string, body func(*Thread)) trace.ThreadID {
+	v := t.syscall(opReq{code: opSpawn, site: site, childName: name, childBody: body, msg: "daemon"})
+	return trace.ThreadID(v.AsInt())
+}
+
+// Fail reports a program-detected failure (an assertion on the program's
+// own I/O specification) and halts the machine.
+func (t *Thread) Fail(site trace.SiteID, format string, args ...any) {
+	t.syscall(opReq{code: opFail, site: site, msg: fmt.Sprintf(format, args...)})
+	panic("unreachable: machine must stop on Fail")
+}
+
+// Crash models a fault (segfault, fatal error) at the given site and halts
+// the machine.
+func (t *Thread) Crash(site trace.SiteID, format string, args ...any) {
+	t.syscall(opReq{code: opCrash, site: site, msg: fmt.Sprintf(format, args...)})
+	panic("unreachable: machine must stop on Crash")
+}
+
+// exit is the implicit final op of every thread body.
+func (t *Thread) exit() {
+	t.syscall(opReq{code: opExit})
+}
+
+// newThread allocates a thread record; the goroutine starts in startThread.
+func (m *Machine) newThread(name string, body func(*Thread)) *Thread {
+	t := &Thread{
+		m:        m,
+		id:       trace.ThreadID(len(m.threads)),
+		name:     name,
+		body:     body,
+		resumeCh: make(chan struct{}),
+		unwound:  make(chan struct{}),
+	}
+	m.threads = append(m.threads, t)
+	m.live++
+	m.liveNonDaemon++
+	return t
+}
+
+// startThread launches the goroutine for t and waits until it parks at its
+// first operation (every thread parks at least once: exit is an op).
+func (m *Machine) startThread(t *Thread) {
+	go m.threadMain(t)
+	parked := <-m.yieldCh
+	if parked != t {
+		panic("vm: unexpected thread parked during start")
+	}
+}
+
+// threadMain runs the thread body, converting returns into exit ops and
+// panics into crash events. errMachineStopped unwinds silently.
+func (m *Machine) threadMain(t *Thread) {
+	defer close(t.unwound)
+	defer func() {
+		r := recover()
+		if r == nil || r == errMachineStopped { //nolint:errorlint // sentinel identity
+			return
+		}
+		// A genuine panic in workload code: surface it as a crash event
+		// so the failure is part of the execution model rather than
+		// tearing down the host process.
+		t.pending = opReq{code: opPanic, msg: fmt.Sprint(r)}
+		t.m.yieldCh <- t
+		<-t.resumeCh
+		// The machine stops on the crash; nothing more to do.
+	}()
+	t.body(t)
+	t.exit()
+}
+
+// resume lets a thread continue after its op was applied. If the thread
+// finished (exit, panic) the machine waits for its goroutine to unwind;
+// otherwise it waits for the thread to park at its next operation.
+func (m *Machine) resume(t *Thread) {
+	t.resumeCh <- struct{}{}
+	if t.done {
+		<-t.unwound
+		return
+	}
+	parked := <-m.yieldCh
+	if parked != t {
+		panic("vm: foreign thread parked during resume")
+	}
+}

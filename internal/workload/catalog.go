@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"debugdet/internal/hyperkv"
+	"debugdet/internal/scenario"
+)
+
+// All returns the full scenario corpus, in a stable order: the paper's
+// three motivating examples (§2's sum and message-drop server, §3's buffer
+// overflow), the §4 Hypertable case study, and two breadth scenarios.
+func All() []*scenario.Scenario {
+	return []*scenario.Scenario{
+		Sum(),
+		Overflow(),
+		MsgDrop(),
+		hyperkv.Scenario(),
+		Bank(),
+		Deadlock(),
+	}
+}
+
+// Names lists the catalog's scenario names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a scenario.
+func ByName(name string) (*scenario.Scenario, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	// Variant lookups.
+	switch name {
+	case "hyperkv-fixed":
+		return hyperkv.FixedScenario(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+}

@@ -1,0 +1,68 @@
+package debugdet
+
+import (
+	"testing"
+)
+
+// TestFullMatrix pins the qualitative outcome of every (scenario, model)
+// cell: the repository's complete expected-results table. Any change that
+// shifts a cell's debugging fidelity away from the documented value —
+// recorder policies, replayer strategies, search behaviour, workload
+// tuning — fails here first.
+func TestFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is a long test")
+	}
+	// Expected DF per scenario and model, from EXPERIMENTS.md.
+	expect := map[string]map[Model]float64{
+		"sum": {
+			Perfect: 1, Value: 1, Output: 0, Failure: 1, DebugRCSE: 1,
+		},
+		"overflow": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"msgdrop": {
+			Perfect: 1, Value: 1, Output: 0.5, Failure: 0.5, DebugRCSE: 1,
+		},
+		"hyperkv-dataloss": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1.0 / 3.0, DebugRCSE: 1,
+		},
+		"bank": {
+			Perfect: 1, Value: 1, Output: 0, Failure: 1, DebugRCSE: 1,
+		},
+		"deadlock": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+	}
+	for name, models := range expect {
+		name, models := name, models
+		t.Run(name, func(t *testing.T) {
+			s, err := ScenarioByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for model, wantDF := range models {
+				ev, err := Evaluate(s, model, Options{ReplayBudget: 200})
+				if err != nil {
+					t.Fatalf("%s: %v", model, err)
+				}
+				got := ev.Utility.DF
+				if diff := got - wantDF; diff > 0.001 || diff < -0.001 {
+					t.Errorf("%s/%s: DF = %.3f, want %.3f (%s)",
+						name, model, got, wantDF, ev.Fidelity)
+				}
+				// Universal invariants of the framework, checked on
+				// every cell:
+				if ev.Overhead < 1.0 {
+					t.Errorf("%s/%s: overhead %v below 1.0", name, model, ev.Overhead)
+				}
+				if model == Failure && ev.LogBytes != 0 {
+					t.Errorf("%s/failure: recorded %d bytes, want 0", name, ev.LogBytes)
+				}
+				if model == Perfect && ev.Replay.Attempts != 1 {
+					t.Errorf("%s/perfect: %d attempts", name, ev.Replay.Attempts)
+				}
+			}
+		})
+	}
+}
