@@ -217,6 +217,36 @@ func BenchmarkHyperKVRun(b *testing.B) {
 	}
 }
 
+// BenchmarkDynoKVRun measures one full replicated-KV cluster execution
+// (the T-DYNO workload's stale-read cell) without any recording attached.
+func BenchmarkDynoKVRun(b *testing.B) {
+	s, err := workload.ByName("dynokv-staleread")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+		if v.Result.Steps == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkTableDynoKV regenerates the replication-family table (T-DYNO):
+// every determinism model over the dynokv scenarios.
+func BenchmarkTableDynoKV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := eval.TableDynoKV(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != len(eval.DynoKVScenarios)*len(record.AllModels()) {
+			b.Fatalf("dynokv cells = %d", len(cells))
+		}
+	}
+}
+
 // BenchmarkPerfectReplay measures deterministic replay of a perfect
 // recording of the case-study workload.
 func BenchmarkPerfectReplay(b *testing.B) {

@@ -7,7 +7,7 @@
 //	figures -all
 //	figures -fig 1
 //	figures -fig 2
-//	figures -table df|overhead|plane|du|triggers
+//	figures -table df|overhead|plane|du|triggers|dynokv
 //	figures -budget 100           # bound inference attempts per cell
 package main
 
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1 or 2)")
-	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers)")
+	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv)")
 	all := flag.Bool("all", false, "regenerate everything")
 	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
 	flag.Parse()
@@ -85,6 +85,16 @@ func main() {
 				return err
 			}
 			fmt.Println(eval.RenderTablePlane(rows))
+			return nil
+		})
+	}
+	if *all || *table == "dynokv" {
+		run("dynokv", func() error {
+			cells, err := eval.TableDynoKV(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(eval.RenderTableDynoKV(cells))
 			return nil
 		})
 	}

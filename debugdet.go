@@ -11,7 +11,10 @@
 // debugging-utility metrics (fidelity, efficiency, utility) and ships the
 // scenario corpus the paper discusses, including a Hypertable-like
 // distributed key-value store with the issue-63 data-loss race of the §4
-// case study.
+// case study, and extends it with a Dynamo-style quorum-replicated KV
+// cluster whose consistency bugs (stale reads under weak quorums,
+// deleted-data resurrection, lost hinted-handoff writes) are genuinely
+// distributed, timing-dependent root causes.
 //
 // Everything runs on a deterministic virtual machine (internal/vm):
 // programs written against its thread API have every shared-state
@@ -82,15 +85,16 @@ func Models() []Model { return record.AllModels() }
 func ParseModel(name string) (Model, error) { return record.ParseModel(name) }
 
 // Scenarios returns the built-in corpus: the paper's motivating examples
-// (sum, overflow, msgdrop), the §4 Hypertable case study, and breadth
-// scenarios (bank, deadlock).
+// (sum, overflow, msgdrop), the §4 Hypertable case study, breadth
+// scenarios (bank, deadlock), and the Dynamo-style replication family
+// (dynokv-staleread, dynokv-resurrect, dynokv-losthint).
 func Scenarios() []*Scenario { return workload.All() }
 
 // ScenarioNames lists the built-in scenario names.
 func ScenarioNames() []string { return workload.Names() }
 
 // ScenarioByName resolves a built-in scenario (including variants such as
-// "hyperkv-fixed").
+// "hyperkv-fixed" or "dynokv-losthint-fixed").
 func ScenarioByName(name string) (*Scenario, error) { return workload.ByName(name) }
 
 // Record runs the scenario once under the model's recorder and returns the

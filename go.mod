@@ -1,0 +1,3 @@
+module debugdet
+
+go 1.22

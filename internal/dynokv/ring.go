@@ -1,0 +1,105 @@
+package dynokv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hashing ring with virtual nodes, as in Dynamo §4.2:
+// each physical node owns Vnodes tokens on a 64-bit ring, and a key's
+// replica set is the first N distinct physical nodes encountered walking
+// clockwise from the key's position. Virtual nodes smooth the load split
+// and make the walk order differ per key, which is what gives each key its
+// own preference list.
+//
+// The ring is pure data (no VM objects): its layout depends only on the
+// node count and vnode count, never on execution state, so lookups are
+// deterministic and free of scheduling points.
+type Ring struct {
+	tokens []ringToken
+	nodes  int
+}
+
+type ringToken struct {
+	pos  uint64
+	node int
+}
+
+// hash64 is FNV-1a with a murmur-style finalizer, fixed here so ring
+// placement never varies across Go versions or hosts. The finalizer
+// matters: plain FNV-1a barely diffuses the last byte of short strings, so
+// near-identical names ("key:1", "key:2", ...) would cluster on one arc.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds the ring for nodes physical nodes with vnodes tokens each.
+func NewRing(nodes, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			r.tokens = append(r.tokens, ringToken{
+				pos:  hash64(fmt.Sprintf("vnode:%d#%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.tokens, func(i, j int) bool {
+		if r.tokens[i].pos != r.tokens[j].pos {
+			return r.tokens[i].pos < r.tokens[j].pos
+		}
+		return r.tokens[i].node < r.tokens[j].node
+	})
+	return r
+}
+
+// walk returns count distinct physical nodes clockwise from the key's
+// position, after skipping the first skip distinct nodes.
+func (r *Ring) walk(key, skip, count int) []int {
+	if count < 0 {
+		count = 0
+	}
+	if max := r.nodes - skip; count > max {
+		count = max
+	}
+	pos := hash64(fmt.Sprintf("key:%d", key))
+	start := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].pos >= pos })
+	seen := make([]bool, r.nodes)
+	out := make([]int, 0, count)
+	skipped := 0
+	for i := 0; i < len(r.tokens) && len(out) < count; i++ {
+		tk := r.tokens[(start+i)%len(r.tokens)]
+		if seen[tk.node] {
+			continue
+		}
+		seen[tk.node] = true
+		if skipped < skip {
+			skipped++
+			continue
+		}
+		out = append(out, tk.node)
+	}
+	return out
+}
+
+// Preference returns the key's preference list: the n replica holders.
+func (r *Ring) Preference(key, n int) []int { return r.walk(key, 0, n) }
+
+// Fallbacks returns count healthy-write fallback candidates for the key:
+// the next distinct nodes on the ring after the preference list, in walk
+// order. Sloppy quorums hint to these when preference nodes are
+// unreachable.
+func (r *Ring) Fallbacks(key, n, count int) []int { return r.walk(key, n, count) }

@@ -1,0 +1,62 @@
+package dynokv
+
+import "testing"
+
+func TestRingPreferenceProperties(t *testing.T) {
+	r := NewRing(4, 5)
+	for key := 0; key < 64; key++ {
+		prefs := r.Preference(key, 2)
+		if len(prefs) != 2 {
+			t.Fatalf("key %d: preference list has %d nodes, want 2", key, len(prefs))
+		}
+		if prefs[0] == prefs[1] {
+			t.Fatalf("key %d: duplicate preference %v", key, prefs)
+		}
+		fb := r.Fallbacks(key, 2, 2)
+		if len(fb) != 2 {
+			t.Fatalf("key %d: %d fallbacks, want 2", key, len(fb))
+		}
+		for _, f := range fb {
+			for _, p := range prefs {
+				if f == p {
+					t.Fatalf("key %d: fallback %d is already a preference node %v", key, f, prefs)
+				}
+			}
+		}
+	}
+}
+
+func TestRingIsDeterministic(t *testing.T) {
+	a, b := NewRing(5, 7), NewRing(5, 7)
+	for key := 0; key < 32; key++ {
+		pa, pb := a.Preference(key, 3), b.Preference(key, 3)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("key %d: rings disagree: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	// With virtual nodes, every physical node should own some keys as the
+	// first preference.
+	r := NewRing(4, 5)
+	first := make(map[int]int)
+	for key := 0; key < 128; key++ {
+		first[r.Preference(key, 1)[0]]++
+	}
+	if len(first) != 4 {
+		t.Fatalf("only %d of 4 nodes ever lead a preference list: %v", len(first), first)
+	}
+}
+
+func TestRingWalkClamps(t *testing.T) {
+	r := NewRing(3, 4)
+	if got := r.Preference(1, 9); len(got) != 3 {
+		t.Fatalf("over-asking yields %v, want all 3 nodes", got)
+	}
+	if got := r.Fallbacks(1, 3, 2); len(got) != 0 {
+		t.Fatalf("no nodes remain past a full preference list, got %v", got)
+	}
+}

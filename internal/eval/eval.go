@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"debugdet/internal/core"
+	"debugdet/internal/dynokv"
 	"debugdet/internal/plane"
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
@@ -210,6 +211,55 @@ func TableOverhead(cells []Cell) string {
 	b.WriteString("data and the thread schedule; failure determinism records only the failure state\n\n")
 	for _, c := range cells {
 		fmt.Fprintf(&b, "%-12s overhead = %5.2fx  log = %8d bytes\n", c.Model, c.Overhead, c.LogBytes)
+	}
+	return b.String()
+}
+
+// DynoKVScenarios lists the Dynamo-style replication family measured by
+// T-DYNO, derived from the family itself so the table can never drift
+// from the catalog.
+var DynoKVScenarios = func() []string {
+	var names []string
+	for _, s := range dynokv.Family() {
+		names = append(names, s.Name)
+	}
+	return names
+}()
+
+// TableDynoKV evaluates every determinism model on the replication family
+// (T-DYNO): the distributed-bug counterpart of Fig. 2. It extends the §4
+// case study from one distributed scenario to a family whose root causes
+// are cross-node and timing-dependent — quorum non-overlap, premature
+// tombstone GC, abandoned hinted handoff.
+func TableDynoKV(o Options) ([]Cell, error) {
+	o = o.withDefaults()
+	var cells []Cell
+	for _, name := range DynoKVScenarios {
+		s, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range record.AllModels() {
+			c, err := runCell(s, model, o)
+			if err != nil {
+				return nil, fmt.Errorf("dynokv %s/%s: %w", name, model, err)
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// RenderTableDynoKV prints T-DYNO.
+func RenderTableDynoKV(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Table DYNO — determinism models on the Dynamo-style replication family\n")
+	b.WriteString("(debug determinism must match the best fidelity at near-native overhead)\n\n")
+	fmt.Fprintf(&b, "%-18s %-12s %9s %9s %6s %7s %7s %-16s\n",
+		"scenario", "model", "overhead", "logbytes", "DF", "DE", "DU", "replay cause")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-18s %-12s %8.2fx %9d %6.3f %7.3f %7.3f %-16s\n",
+			c.Scenario, c.Model, c.Overhead, c.LogBytes, c.DF, c.DE, c.DU, c.ReplayCause)
 	}
 	return b.String()
 }

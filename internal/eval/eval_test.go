@@ -91,6 +91,42 @@ func TestFig1TrendOnSubset(t *testing.T) {
 	}
 }
 
+func TestTableDynoKVSweetSpot(t *testing.T) {
+	cells, err := TableDynoKV(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(DynoKVScenarios)*len(record.AllModels()) {
+		t.Fatalf("dynokv table has %d cells", len(cells))
+	}
+	type pair struct {
+		scenario string
+		model    record.Model
+	}
+	byCell := make(map[pair]Cell)
+	for _, c := range cells {
+		byCell[pair{c.Scenario, c.Model}] = c
+	}
+	for _, name := range DynoKVScenarios {
+		v := byCell[pair{name, record.Value}]
+		f := byCell[pair{name, record.Failure}]
+		r := byCell[pair{name, record.DebugRCSE}]
+		if r.DF != 1 {
+			t.Errorf("%s: rcse DF = %v, want 1", name, r.DF)
+		}
+		if r.DU < f.DU {
+			t.Errorf("%s: rcse DU %.3f below failure DU %.3f", name, r.DU, f.DU)
+		}
+		if !(r.Overhead < v.Overhead && r.LogBytes < v.LogBytes) {
+			t.Errorf("%s: rcse cost (%.2fx, %dB) not below value (%.2fx, %dB)",
+				name, r.Overhead, r.LogBytes, v.Overhead, v.LogBytes)
+		}
+	}
+	if !strings.Contains(RenderTableDynoKV(cells), "dynokv-staleread") {
+		t.Fatal("dynokv table rendering broken")
+	}
+}
+
 func TestTablePlaneHighAccuracy(t *testing.T) {
 	rows, err := TablePlane(Options{})
 	if err != nil {

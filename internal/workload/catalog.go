@@ -4,15 +4,18 @@ import (
 	"fmt"
 	"sort"
 
+	"debugdet/internal/dynokv"
 	"debugdet/internal/hyperkv"
 	"debugdet/internal/scenario"
 )
 
-// All returns the full scenario corpus, in a stable order: the paper's
-// three motivating examples (§2's sum and message-drop server, §3's buffer
-// overflow), the §4 Hypertable case study, and two breadth scenarios.
+// All returns the full buggy-scenario corpus, in a stable order: the
+// paper's three motivating examples (§2's sum and message-drop server,
+// §3's buffer overflow), the §4 Hypertable case study, two breadth
+// scenarios, and the Dynamo-style replication family (stale reads under
+// weak quorums, deleted-data resurrection, lost hinted-handoff writes).
 func All() []*scenario.Scenario {
-	return []*scenario.Scenario{
+	out := []*scenario.Scenario{
 		Sum(),
 		Overflow(),
 		MsgDrop(),
@@ -20,30 +23,43 @@ func All() []*scenario.Scenario {
 		Bank(),
 		Deadlock(),
 	}
+	return append(out, dynokv.Family()...)
 }
 
-// Names lists the catalog's scenario names, sorted.
+// Variants returns the healthy builds of the fixable scenarios — the
+// program after each fix predicate is enforced. They are resolvable by
+// name (and listed by Names) but excluded from All, so corpus-wide
+// experiments evaluate only failing runs.
+func Variants() []*scenario.Scenario {
+	out := []*scenario.Scenario{hyperkv.FixedScenario()}
+	return append(out, dynokv.FixedVariants()...)
+}
+
+// Names lists every resolvable scenario name — the corpus plus the fixed
+// variants — sorted.
 func Names() []string {
-	all := All()
-	names := make([]string, len(all))
-	for i, s := range all {
-		names[i] = s.Name
+	var names []string
+	for _, s := range All() {
+		names = append(names, s.Name)
+	}
+	for _, s := range Variants() {
+		names = append(names, s.Name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// ByName resolves a scenario.
+// ByName resolves a scenario or variant.
 func ByName(name string) (*scenario.Scenario, error) {
 	for _, s := range All() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	// Variant lookups.
-	switch name {
-	case "hyperkv-fixed":
-		return hyperkv.FixedScenario(), nil
+	for _, s := range Variants() {
+		if s.Name == name {
+			return s, nil
+		}
 	}
 	return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
 }

@@ -10,8 +10,8 @@ import (
 
 func TestCatalogIsStable(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("corpus has %d scenarios, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("corpus has %d scenarios, want 9", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, s := range all {
@@ -46,6 +46,26 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestDynoKVFamilyRegistered pins the catalog contract for the replication
+// family: every dynokv scenario and its fixed variant resolve by name.
+func TestDynoKVFamilyRegistered(t *testing.T) {
+	names := make(map[string]bool)
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"dynokv-staleread", "dynokv-resurrect", "dynokv-losthint",
+		"dynokv-staleread-fixed", "dynokv-resurrect-fixed", "dynokv-losthint-fixed",
+	} {
+		if !names[want] {
+			t.Errorf("Names() is missing %q", want)
+		}
+		if _, err := ByName(want); err != nil {
+			t.Errorf("ByName(%q): %v", want, err)
+		}
+	}
+}
+
 // TestDefaultSeedsFail pins every scenario's default seed to a failing run
 // with exactly the expected original root cause.
 func TestDefaultSeedsFail(t *testing.T) {
@@ -56,6 +76,9 @@ func TestDefaultSeedsFail(t *testing.T) {
 		"hyperkv-dataloss": "migration-race",
 		"bank":             "non-atomic-transfer",
 		"deadlock":         "lock-order-inversion",
+		"dynokv-staleread": "weak-quorum",
+		"dynokv-resurrect": "tombstone-gc",
+		"dynokv-losthint":  "hint-abandoned",
 	}
 	for _, s := range All() {
 		s := s

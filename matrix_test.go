@@ -1,6 +1,7 @@
 package debugdet
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -33,6 +34,21 @@ func TestFullMatrix(t *testing.T) {
 		"deadlock": {
 			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
 		},
+		// The dynokv replication family: output determinism lands on the
+		// environment explanation for the stale read (DF 1/2); the other
+		// cells reproduce the original cause.
+		"dynokv-staleread": {
+			Perfect: 1, Value: 1, Output: 0.5, Failure: 1, DebugRCSE: 1,
+		},
+		"dynokv-resurrect": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"dynokv-losthint": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+	}
+	if len(expect) != len(Scenarios()) {
+		t.Fatalf("matrix covers %d scenarios, corpus has %d", len(expect), len(Scenarios()))
 	}
 	for name, models := range expect {
 		name, models := name, models
@@ -62,6 +78,54 @@ func TestFullMatrix(t *testing.T) {
 				if model == Perfect && ev.Replay.Attempts != 1 {
 					t.Errorf("%s/perfect: %d attempts", name, ev.Replay.Attempts)
 				}
+			}
+		})
+	}
+}
+
+// TestDynoKVRCSEBeatsFailureDeterminism pins the family-level claim the
+// replication scenarios were added to make: on genuinely distributed root
+// causes, debug determinism via RCSE is at least as useful as failure
+// determinism (DU = DF × DE) while recording at near-native overhead.
+func TestDynoKVRCSEBeatsFailureDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluations are long tests")
+	}
+	for _, name := range ScenarioNames() {
+		if !strings.HasPrefix(name, "dynokv-") || strings.HasSuffix(name, "-fixed") {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := ScenarioByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rcse, err := Evaluate(s, DebugRCSE, Options{ReplayBudget: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fail, err := Evaluate(s, Failure, Options{ReplayBudget: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rcse.Utility.DU < fail.Utility.DU {
+				t.Errorf("RCSE DU %.3f < failure DU %.3f", rcse.Utility.DU, fail.Utility.DU)
+			}
+			if rcse.Utility.DF != 1 {
+				t.Errorf("RCSE DF = %.3f, want 1", rcse.Utility.DF)
+			}
+			// The sweet spot also requires near-native recording cost:
+			// RCSE must record strictly less than value determinism.
+			value, err := Evaluate(s, Value, Options{ReplayBudget: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rcse.LogBytes >= value.LogBytes {
+				t.Errorf("RCSE log %d bytes >= value log %d bytes", rcse.LogBytes, value.LogBytes)
+			}
+			if rcse.Overhead >= value.Overhead {
+				t.Errorf("RCSE overhead %.2f >= value overhead %.2f", rcse.Overhead, value.Overhead)
 			}
 		})
 	}
