@@ -151,6 +151,36 @@ func BenchmarkVMThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkVMStepThroughput measures the VM scheduling hot path itself:
+// one long-running thread stepping through loads and stores while a second
+// thread sits blocked on an empty channel. The scheduler re-picks the same
+// thread at every decision, so this is the pure per-step cost — baton
+// handoff, scheduling, event emission — with no recording attached.
+func BenchmarkVMStepThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const stepsPerRun = 2000
+	for i := 0; i < b.N; i++ {
+		m := vm.New(vm.Config{Seed: int64(i), CollectTrace: false})
+		c := m.NewCell("c", trace.Int(0))
+		ch := m.NewChan("ch", 1)
+		s := m.Site("s")
+		sp := m.Site("spawn")
+		res := m.Run(func(t *vm.Thread) {
+			t.Spawn(sp, "blocked", func(t *vm.Thread) {
+				t.Recv(s, ch) // parked until the main thread finishes
+			})
+			for j := 0; j < stepsPerRun; j++ {
+				v := t.Load(s, c)
+				t.Store(s, c, trace.Int(v.AsInt()+1))
+			}
+			t.Send(s, ch, trace.Int(0))
+		})
+		if res.Outcome != vm.OutcomeOK {
+			b.Fatalf("outcome %v", res.Outcome)
+		}
+	}
+}
+
 // BenchmarkRecorderPerEvent measures the recorder fast path for each
 // stock policy over a synthetic event stream.
 func BenchmarkRecorderPerEvent(b *testing.B) {

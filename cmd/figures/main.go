@@ -9,6 +9,7 @@
 //	figures -fig 2
 //	figures -table df|overhead|plane|du|triggers|dynokv
 //	figures -budget 100           # bound inference attempts per cell
+//	figures -workers 4            # cell-grid parallelism (default GOMAXPROCS, 1 = sequential)
 package main
 
 import (
@@ -24,9 +25,10 @@ func main() {
 	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv)")
 	all := flag.Bool("all", false, "regenerate everything")
 	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
+	workers := flag.Int("workers", 0, "concurrent cells (default GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
 
-	o := eval.Options{ReplayBudget: *budget}
+	o := eval.Options{ReplayBudget: *budget, Workers: *workers}
 	if !*all && *fig == 0 && *table == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -69,6 +69,10 @@ type Options struct {
 	RCSE RCSEOptions
 	// MaxSteps bounds every execution (0 = VM default).
 	MaxSteps uint64
+	// Workers sets the replay-inference worker-pool size (0 =
+	// GOMAXPROCS, 1 = sequential). The evaluation result is identical
+	// for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -156,6 +160,7 @@ func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation,
 		SearchSeed:   o.SearchSeed,
 		ShrinkParams: o.ShrinkParams,
 		MaxSteps:     o.MaxSteps,
+		Workers:      o.Workers,
 	})
 
 	var repView *scenario.RunView

@@ -64,6 +64,7 @@ func ExploreCauses(s *scenario.Scenario, signature string, o Options) *CauseExpl
 			BaseSeed: o.SearchSeed + int64(i)*1000003,
 			Params:   o.Params,
 			MaxSteps: o.MaxSteps,
+			Workers:  o.Workers,
 		})
 		out.Attempts += res.Attempts
 		out.WorkSteps += res.WorkSteps

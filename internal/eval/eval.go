@@ -6,8 +6,10 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"debugdet/internal/core"
 	"debugdet/internal/dynokv"
@@ -23,13 +25,64 @@ type Options struct {
 	ReplayBudget int
 	// Scenarios restricts the corpus (nil = all).
 	Scenarios []string
+	// Workers is the number of (scenario, model) cells evaluated
+	// concurrently (default GOMAXPROCS; 1 opts out). Cells share no
+	// state and every cell is deterministic, so results are identical
+	// for every worker count. When the grid runs in parallel each
+	// cell's inner replay search stays sequential — the grid is the
+	// outer parallelism and already saturates the cores.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.ReplayBudget == 0 {
 		o.ReplayBudget = 200
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// runGrid evaluates n independent cells with fn(i) across the configured
+// worker pool, preserving determinism: fn writes its result into slot i of
+// a caller-owned slice, and the returned error is the lowest-index one, as
+// a sequential loop would have surfaced. fn must not touch shared state.
+func runGrid(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // corpus resolves the scenario list.
@@ -84,10 +137,12 @@ func cellOf(ev *core.Evaluation) Cell {
 // runCell evaluates one (scenario, model) pair with the harness defaults.
 // RCSE cells use code-based selection alone, matching §4 ("RCSE based on
 // control-plane code selection"); the trigger variants are measured
-// separately in the T-TRIG ablation.
+// separately in the T-TRIG ablation. The inner replay search is pinned
+// sequential: the grid is the parallel axis (see Options.Workers).
 func runCell(s *scenario.Scenario, model record.Model, o Options) (Cell, error) {
 	ev, err := core.Evaluate(s, model, core.Options{
 		ReplayBudget: o.ReplayBudget,
+		Workers:      1,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -108,19 +163,29 @@ type Fig1Row struct {
 }
 
 // Fig1 reproduces Figure 1: the relaxation trend. Every model is evaluated
-// on every corpus scenario; the row means are the plotted coordinates.
+// on every corpus scenario — the cells run across the worker pool — and
+// the row means are the plotted coordinates.
 func Fig1(o Options) ([]Fig1Row, error) {
 	o = o.withDefaults()
-	var rows []Fig1Row
-	for _, model := range record.AllModels() {
-		row := Fig1Row{Model: model}
-		for _, s := range o.corpus() {
-			c, err := runCell(s, model, o)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s/%s: %w", s.Name, model, err)
-			}
-			row.Cells = append(row.Cells, c)
+	models := record.AllModels()
+	corpus := o.corpus()
+	cells := make([]Cell, len(models)*len(corpus))
+	err := runGrid(len(cells), o.Workers, func(i int) error {
+		model, s := models[i/len(corpus)], corpus[i%len(corpus)]
+		c, err := runCell(s, model, o)
+		if err != nil {
+			return fmt.Errorf("fig1 %s/%s: %w", s.Name, model, err)
 		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig1Row
+	for mi, model := range models {
+		row := Fig1Row{Model: model}
+		row.Cells = append(row.Cells, cells[mi*len(corpus):(mi+1)*len(corpus)]...)
 		n := float64(len(row.Cells))
 		for _, c := range row.Cells {
 			row.MeanOverhead += c.Overhead / n
@@ -164,16 +229,21 @@ func Fig2(o Options) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cells []Cell
-	for _, model := range []record.Model{
+	models := []record.Model{
 		record.Value, record.Failure, record.DebugRCSE,
 		record.Perfect, record.Output,
-	} {
-		c, err := runCell(s, model, o)
+	}
+	cells := make([]Cell, len(models))
+	err = runGrid(len(models), o.Workers, func(i int) error {
+		c, err := runCell(s, models[i], o)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", model, err)
+			return fmt.Errorf("fig2 %s: %w", models[i], err)
 		}
-		cells = append(cells, c)
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -233,19 +303,23 @@ var DynoKVScenarios = func() []string {
 // tombstone GC, abandoned hinted handoff.
 func TableDynoKV(o Options) ([]Cell, error) {
 	o = o.withDefaults()
-	var cells []Cell
-	for _, name := range DynoKVScenarios {
+	models := record.AllModels()
+	cells := make([]Cell, len(DynoKVScenarios)*len(models))
+	err := runGrid(len(cells), o.Workers, func(i int) error {
+		name, model := DynoKVScenarios[i/len(models)], models[i%len(models)]
 		s, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, model := range record.AllModels() {
-			c, err := runCell(s, model, o)
-			if err != nil {
-				return nil, fmt.Errorf("dynokv %s/%s: %w", name, model, err)
-			}
-			cells = append(cells, c)
+		c, err := runCell(s, model, o)
+		if err != nil {
+			return fmt.Errorf("dynokv %s/%s: %w", name, model, err)
 		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -276,15 +350,24 @@ type PlaneRow struct {
 // accuracy" claim.
 func TablePlane(o Options) ([]PlaneRow, error) {
 	o = o.withDefaults()
-	var rows []PlaneRow
+	var subjects []*scenario.Scenario
 	for _, s := range o.corpus() {
 		if len(s.PlaneTruth) == 0 {
 			continue
 		}
+		subjects = append(subjects, s)
+	}
+	rows := make([]PlaneRow, len(subjects))
+	err := runGrid(len(subjects), o.Workers, func(i int) error {
+		s := subjects[i]
 		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed + 101})
 		c := plane.ClassifyTrace(v.Trace, plane.Options{})
 		acc, verdicts := plane.Accuracy(c, v.Machine.Sites(), s.PlaneTruth)
-		rows = append(rows, PlaneRow{Scenario: s.Name, Accuracy: acc, Verdicts: verdicts})
+		rows[i] = PlaneRow{Scenario: s.Name, Accuracy: acc, Verdicts: verdicts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Scenario < rows[j].Scenario })
 	return rows, nil
@@ -328,9 +411,11 @@ func ShrinkCell(o Options) (Cell, error) {
 	if err != nil {
 		return Cell{}, err
 	}
+	// A single cell: here the replay search itself is the parallel axis.
 	ev, err := core.Evaluate(s, record.Failure, core.Options{
 		ReplayBudget: o.ReplayBudget,
 		ShrinkParams: []scenario.Params{{"requests": 2}, {"requests": 4}},
+		Workers:      o.Workers,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -365,38 +450,43 @@ func TableTriggers(o Options) ([]TrigRow, error) {
 		{"race-only", core.RCSEOptions{DisableCodeSelection: true, RaceTrigger: true}},
 		{"code+race+inv", core.RCSEOptions{RaceTrigger: true, InvariantTrigger: true}},
 	}
-	var rows []TrigRow
-	for _, name := range []string{"hyperkv-dataloss", "msgdrop", "bank"} {
+	scenarios := []string{"hyperkv-dataloss", "msgdrop", "bank"}
+	rows := make([]TrigRow, len(scenarios)*len(cfgs))
+	err := runGrid(len(rows), o.Workers, func(i int) error {
+		name, c := scenarios[i/len(cfgs)], cfgs[i%len(cfgs)]
 		s, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, c := range cfgs {
-			ev, err := core.Evaluate(s, record.DebugRCSE, core.Options{
-				ReplayBudget: o.ReplayBudget,
-				RCSE:         c.opts,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("triggers %s/%s: %w", name, c.name, err)
-			}
-			row := TrigRow{
-				Scenario:   name,
-				Config:     c.name,
-				Overhead:   ev.Overhead,
-				LogBytes:   ev.LogBytes,
-				FullEvents: uint64(len(ev.Recording.Full)),
-				DF:         ev.Utility.DF,
-			}
-			if ev.RCSESetup != nil {
-				if ev.RCSESetup.RaceTrigger != nil {
-					row.RaceFires = ev.RCSESetup.RaceTrigger.Fired()
-				}
-				if ev.RCSESetup.InvariantTrigger != nil {
-					row.InvFires = ev.RCSESetup.InvariantTrigger.Fired()
-				}
-			}
-			rows = append(rows, row)
+		ev, err := core.Evaluate(s, record.DebugRCSE, core.Options{
+			ReplayBudget: o.ReplayBudget,
+			RCSE:         c.opts,
+			Workers:      1,
+		})
+		if err != nil {
+			return fmt.Errorf("triggers %s/%s: %w", name, c.name, err)
 		}
+		row := TrigRow{
+			Scenario:   name,
+			Config:     c.name,
+			Overhead:   ev.Overhead,
+			LogBytes:   ev.LogBytes,
+			FullEvents: uint64(len(ev.Recording.Full)),
+			DF:         ev.Utility.DF,
+		}
+		if ev.RCSESetup != nil {
+			if ev.RCSESetup.RaceTrigger != nil {
+				row.RaceFires = ev.RCSESetup.RaceTrigger.Fired()
+			}
+			if ev.RCSESetup.InvariantTrigger != nil {
+				row.InvFires = ev.RCSESetup.InvariantTrigger.Fired()
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelGridMatchesSequential pins the grid determinism contract:
+// the full result rows of the figure/table generators are deep-equal for
+// workers=1 and workers=N. Run with -race in CI, this is also the data
+// -race check for the concurrent evaluation path.
+func TestParallelGridMatchesSequential(t *testing.T) {
+	seqO := Options{ReplayBudget: 80, Scenarios: []string{"sum", "overflow"}, Workers: 1}
+	parO := seqO
+	parO.Workers = 4
+
+	seqRows, err := Fig1(seqO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := Fig1(parO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Fatalf("Fig1 rows differ between workers=1 and workers=4:\nseq: %+v\npar: %+v", seqRows, parRows)
+	}
+
+	seqCells, err := Fig2(Options{ReplayBudget: 80, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCells, err := Fig2(Options{ReplayBudget: 80, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqCells, parCells) {
+		t.Fatalf("Fig2 cells differ between workers=1 and workers=4")
+	}
+}
+
+// TestRunGridErrorIsLowestIndex pins deterministic error reporting: a
+// parallel grid surfaces the same (lowest-index) error a sequential loop
+// would have hit first.
+func TestRunGridErrorIsLowestIndex(t *testing.T) {
+	boom := func(i int) error {
+		if i == 3 || i == 7 {
+			return errAt(i)
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 4} {
+		err := runGrid(10, workers, boom)
+		if err == nil || err.Error() != "cell 3" {
+			t.Fatalf("workers=%d: error = %v, want cell 3", workers, err)
+		}
+	}
+}
+
+type errAt int
+
+func (e errAt) Error() string { return "cell " + string(rune('0'+int(e))) }

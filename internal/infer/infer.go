@@ -26,6 +26,8 @@ package infer
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
@@ -53,6 +55,12 @@ type Options struct {
 	Schedule []trace.ThreadID
 	// MaxSteps bounds each candidate execution (0 = VM default).
 	MaxSteps uint64
+	// Workers is the number of candidate executions run concurrently
+	// (default GOMAXPROCS; 1 opts out of parallelism). Candidates are
+	// bit-deterministic functions of their index, so the Outcome —
+	// accepted execution, Attempts, WorkCycles, WorkSteps, Note — is
+	// identical for every worker count; see Search for the contract.
+	Workers int
 }
 
 // Outcome is a finished search.
@@ -76,20 +84,16 @@ type Outcome struct {
 	Note string
 }
 
-// Search runs candidate executions of s until accept returns true or the
-// budget is exhausted.
-func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options) *Outcome {
-	if o.Budget == 0 {
-		o.Budget = 200
-	}
-	out := &Outcome{}
+// paramTry is one slot of the candidate plan.
+type paramTry struct {
+	p    scenario.Params
+	note string
+}
 
-	// Parameter schedule: shrunken configurations first (a few tries
-	// each), then the full configuration for the remaining budget.
-	type paramTry struct {
-		p    scenario.Params
-		note string
-	}
+// buildPlan lays out the parameter schedule: shrunken configurations first
+// (a few tries each), then the full configuration for the remaining
+// budget.
+func buildPlan(s *scenario.Scenario, o Options) []paramTry {
 	var plan []paramTry
 	perShrink := o.Budget / 8
 	if perShrink < 4 {
@@ -107,15 +111,59 @@ func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options
 	if len(plan) > o.Budget {
 		plan = plan[:o.Budget]
 	}
+	return plan
+}
 
+// runCandidate executes the i-th candidate of the plan. Candidates are
+// bit-deterministic functions of (scenario, options, index) and share no
+// mutable state, which is what makes the search embarrassingly parallel.
+func runCandidate(s *scenario.Scenario, o Options, pt paramTry, i int) *scenario.RunView {
+	return s.Exec(scenario.ExecOptions{
+		Seed:      o.BaseSeed + int64(i),
+		Params:    pt.p,
+		Scheduler: candidateScheduler(o, int64(i)),
+		Inputs:    candidateInputs(s, o, pt.p, int64(i)),
+		MaxSteps:  o.MaxSteps,
+	})
+}
+
+// Search runs candidate executions of s until accept returns true or the
+// budget is exhausted.
+//
+// With Workers > 1 candidates run concurrently, under a determinism
+// contract that makes the parallel search indistinguishable from the
+// sequential one: candidates keep their sequential indices, accept is
+// invoked on the collector goroutine in strictly increasing index order
+// (so accept needs no internal locking), the accepted candidate is the
+// lowest-index accepted one, and Attempts/WorkCycles/WorkSteps count
+// exactly the candidates at or before the accepted index. Workers may
+// speculatively execute candidates beyond the eventually-accepted index;
+// those executions are discarded unobserved, so their scheduling on the
+// host has no effect on the Outcome.
+func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options) *Outcome {
+	if o.Budget == 0 {
+		o.Budget = 200
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	plan := buildPlan(s, o)
+	workers := o.Workers
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers <= 1 {
+		return searchSeq(s, accept, o, plan)
+	}
+	return searchParallel(s, accept, o, plan, workers)
+}
+
+// searchSeq is the reference implementation: one candidate at a time, in
+// index order. searchParallel is defined to be outcome-equivalent to it.
+func searchSeq(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options, plan []paramTry) *Outcome {
+	out := &Outcome{}
 	for i, pt := range plan {
-		view := s.Exec(scenario.ExecOptions{
-			Seed:      o.BaseSeed + int64(i),
-			Params:    pt.p,
-			Scheduler: candidateScheduler(o, int64(i)),
-			Inputs:    candidateInputs(s, o, pt.p, int64(i)),
-			MaxSteps:  o.MaxSteps,
-		})
+		view := runCandidate(s, o, pt, i)
 		out.Attempts++
 		out.WorkCycles += view.Result.Cycles
 		out.WorkSteps += view.Result.Steps
@@ -127,6 +175,97 @@ func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options
 			return out
 		}
 	}
+	out.Note = "budget exhausted"
+	return out
+}
+
+// searchParallel fans the candidate plan across a worker pool and folds
+// results back in index order.
+func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options, plan []paramTry, workers int) *Outcome {
+	type candResult struct {
+		idx  int
+		view *scenario.RunView
+	}
+	idxCh := make(chan int)
+	resCh := make(chan candResult, workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Speculation window: the feeder may run at most this many candidates
+	// ahead of the collector's cursor. Results hold full oracle traces, so
+	// an unbounded window would let fast candidates pile up the whole
+	// budget in memory (and burn the whole budget of CPU) while one slow
+	// early candidate blocks consumption.
+	window := 2 * workers
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	// Feeder: hands out candidate indices in order until the collector
+	// accepts one (deterministic cancellation: only indices above the
+	// accepted one can be cut off, and those are never accounted).
+	go func() {
+		defer close(idxCh)
+		for i := range plan {
+			select {
+			case <-tokens:
+			case <-stop:
+				return
+			}
+			select {
+			case idxCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				view := runCandidate(s, o, plan[i], i)
+				select {
+				case resCh <- candResult{idx: i, view: view}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	// Collector: consume results in index order, calling accept exactly
+	// as the sequential search would — same candidates, same order.
+	out := &Outcome{}
+	pending := make(map[int]*scenario.RunView, workers)
+	cursor := 0
+	for cursor < len(plan) {
+		view, ok := pending[cursor]
+		if !ok {
+			r := <-resCh
+			pending[r.idx] = r.view
+			continue
+		}
+		delete(pending, cursor)
+		tokens <- struct{}{} // consumed one: let the feeder dispatch one more
+		i, pt := cursor, plan[cursor]
+		cursor++
+		out.Attempts++
+		out.WorkCycles += view.Result.Cycles
+		out.WorkSteps += view.Result.Steps
+		if accept(view) {
+			out.View = view
+			out.Ok = true
+			out.AcceptedParams = pt.p
+			out.Note = fmt.Sprintf("%s attempt %d", pt.note, i)
+			close(stop)
+			wg.Wait()
+			return out
+		}
+	}
+	close(stop)
+	wg.Wait()
 	out.Note = "budget exhausted"
 	return out
 }

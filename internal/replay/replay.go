@@ -39,6 +39,10 @@ type Options struct {
 	ShrinkParams []scenario.Params
 	// MaxSteps bounds each candidate execution.
 	MaxSteps uint64
+	// Workers sets the inference worker-pool size for search-based
+	// models (0 = GOMAXPROCS, 1 = sequential). Results are identical
+	// for every worker count; see infer.Search.
+	Workers int
 }
 
 // Result is a finished replay.
@@ -169,6 +173,7 @@ func replayOutput(s *scenario.Scenario, rec *record.Recording, o Options) *Resul
 		BaseSeed: o.SearchSeed,
 		Params:   rec.Params,
 		MaxSteps: o.MaxSteps,
+		Workers:  o.Workers,
 	})
 	return &Result{
 		View:       out.View,
@@ -195,6 +200,7 @@ func replayFailure(s *scenario.Scenario, rec *record.Recording, o Options) *Resu
 		Params:       rec.Params,
 		ShrinkParams: o.ShrinkParams,
 		MaxSteps:     o.MaxSteps,
+		Workers:      o.Workers,
 	})
 	return &Result{
 		View:       out.View,

@@ -85,10 +85,13 @@ func Encode(w io.Writer, l *Log) (int64, error) {
 		writeString(bw, l.Header.Labels[k])
 	}
 
-	names := l.Sites.Names()
-	writeUvarint(bw, uint64(len(names)))
-	for _, n := range names {
-		writeString(bw, n)
+	// Iterate the table by index rather than copying it out: Encode
+	// runs once per recorded log, including inside EncodedSize on the
+	// recording overhead path.
+	nSites := l.Sites.Len()
+	writeUvarint(bw, uint64(nSites))
+	for i := 0; i < nSites; i++ {
+		writeString(bw, l.Sites.Name(SiteID(i)))
 	}
 
 	writeUvarint(bw, uint64(len(l.Events)))

@@ -13,10 +13,18 @@ type SiteTable struct {
 	ids   map[string]SiteID
 }
 
+// siteTablePresize is the initial capacity of a table's name list and ID
+// map. Workloads register a few dozen sites; pre-sizing keeps Register off
+// the grow path for every machine the search engine spins up.
+const siteTablePresize = 32
+
 // NewSiteTable returns an empty table with NoSite pre-registered.
 func NewSiteTable() *SiteTable {
-	t := &SiteTable{ids: make(map[string]SiteID)}
-	t.names = append(t.names, "") // NoSite
+	t := &SiteTable{
+		names: make([]string, 1, siteTablePresize),
+		ids:   make(map[string]SiteID, siteTablePresize),
+	}
+	t.names[0] = "" // NoSite
 	return t
 }
 
@@ -48,7 +56,9 @@ func (t *SiteTable) Name(id SiteID) string {
 // Len returns the number of registered sites including NoSite.
 func (t *SiteTable) Len() int { return len(t.names) }
 
-// Names returns a copy of the name list indexed by SiteID.
+// Names returns a copy of the name list indexed by SiteID. Callers that
+// only need the count should use Len, and per-ID access should use Name:
+// both avoid the copy.
 func (t *SiteTable) Names() []string {
 	out := make([]string, len(t.names))
 	copy(out, t.names)

@@ -55,7 +55,7 @@ func (m *Machine) applyOp(t *Thread) {
 		if ch.full() {
 			panic("vm: send applied while full")
 		}
-		ch.buf = append(ch.buf, slot{val: req.val, taint: t.taint})
+		ch.push(slot{val: req.val, taint: t.taint})
 		m.emit(t, trace.EvSend, req.site, req.obj, req.val, t.taint)
 
 	case opTrySend:
@@ -65,7 +65,7 @@ func (m *Machine) applyOp(t *Thread) {
 			m.emit(t, trace.EvYield, req.site, req.obj, trace.Nil, trace.TaintNone)
 			return
 		}
-		ch.buf = append(ch.buf, slot{val: req.val, taint: t.taint})
+		ch.push(slot{val: req.val, taint: t.taint})
 		m.emit(t, trace.EvSend, req.site, req.obj, req.val, t.taint)
 
 	case opRecv:
@@ -73,8 +73,7 @@ func (m *Machine) applyOp(t *Thread) {
 		if ch.empty() {
 			panic("vm: recv applied while empty")
 		}
-		s := ch.buf[0]
-		ch.buf = ch.buf[1:]
+		s := ch.pop()
 		t.result = s.val
 		t.taint |= s.taint
 		m.emit(t, trace.EvRecv, req.site, req.obj, s.val, s.taint)
@@ -86,8 +85,7 @@ func (m *Machine) applyOp(t *Thread) {
 			m.emit(t, trace.EvYield, req.site, req.obj, trace.Nil, trace.TaintNone)
 			return
 		}
-		s := ch.buf[0]
-		ch.buf = ch.buf[1:]
+		s := ch.pop()
 		t.result = s.val
 		t.taint |= s.taint
 		m.emit(t, trace.EvRecv, req.site, req.obj, s.val, s.taint)
@@ -100,8 +98,7 @@ func (m *Machine) applyOp(t *Thread) {
 			m.emit(t, trace.EvYield, req.site, req.obj, trace.Nil, trace.TaintNone)
 			return
 		}
-		s := ch.buf[0]
-		ch.buf = ch.buf[1:]
+		s := ch.pop()
 		t.result = s.val
 		t.taint |= s.taint
 		m.emit(t, trace.EvRecv, req.site, req.obj, s.val, s.taint)
@@ -110,6 +107,7 @@ func (m *Machine) applyOp(t *Thread) {
 		s := &m.streams[req.obj]
 		v := m.inputs.Next(s.name, s.inIndex)
 		s.inIndex++
+		s.inputs = append(s.inputs, v)
 		t.result = v
 		t.taint |= s.inTaint
 		m.emit(t, trace.EvInput, req.site, req.obj, v, s.inTaint)

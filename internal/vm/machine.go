@@ -14,7 +14,6 @@ package vm
 
 import (
 	"fmt"
-	"sort"
 
 	"debugdet/internal/trace"
 )
@@ -68,6 +67,12 @@ type Config struct {
 	// depend on channel state, which evolves identically under the
 	// forced schedule.
 	RelaxTime bool
+	// DisableInline turns off the inline run-to-next-schedule-point fast
+	// path, forcing every operation through the yieldCh/resumeCh baton.
+	// The fast path is bit-equivalent to the baton path (the equivalence
+	// test pins this); the switch exists for benchmarking the handoff
+	// cost and for debugging the VM itself.
+	DisableInline bool
 }
 
 // Result describes a finished execution.
@@ -143,6 +148,20 @@ type Machine struct {
 
 	yieldCh chan *Thread // threads park by sending themselves here
 
+	// inlineOwner is the thread currently holding the scheduling baton
+	// inline (see syscall's fast path). While it is set the machine
+	// goroutine is parked in resume's yieldCh receive, so exactly one
+	// goroutine — the owner — touches machine state: the single-unparked
+	// invariant holds with no channel traffic. All accesses are ordered
+	// by the resumeCh/yieldCh handoffs themselves.
+	inlineOwner *Thread
+	// picked carries a scheduling decision taken inline by a thread that
+	// then had to hand the baton back (the scheduler chose someone else).
+	// The machine loop consumes it instead of re-asking the scheduler,
+	// so stateful schedulers see each decision exactly once.
+	picked      *Thread
+	pickedValid bool
+
 	running  bool
 	stopped  bool
 	outcome  Outcome
@@ -153,6 +172,9 @@ type Machine struct {
 
 	// enabledBuf is reused across scheduling rounds.
 	enabledBuf []*Thread
+	// evBuf is the event staging buffer emit reuses; without it every
+	// event heap-escapes through the observer interface call.
+	evBuf trace.Event
 }
 
 // New returns a machine with the given configuration.
@@ -171,17 +193,21 @@ func New(cfg Config) *Machine {
 		cfg.MaxSteps = 4 << 20
 	}
 	m := &Machine{
-		cfg:       cfg,
-		cost:      cfg.Cost,
-		sites:     trace.NewSiteTable(),
-		streamIDs: make(map[string]trace.ObjID),
-		sched:     cfg.Scheduler,
-		inputs:    cfg.Inputs,
-		yieldCh:   make(chan *Thread),
+		cfg:        cfg,
+		cost:       cfg.Cost,
+		sites:      trace.NewSiteTable(),
+		streamIDs:  make(map[string]trace.ObjID),
+		sched:      cfg.Scheduler,
+		inputs:     cfg.Inputs,
+		yieldCh:    make(chan *Thread),
+		enabledBuf: make([]*Thread, 0, 8),
 	}
 	if cfg.CollectTrace {
 		m.tr = trace.NewLog(trace.Header{Seed: cfg.Seed})
 		m.tr.Sites = m.sites
+		// Pre-size for a typical execution so the hot loop appends
+		// without growth reallocations.
+		m.tr.Events = make([]trace.Event, 0, 1024)
 	}
 	return m
 }
@@ -227,17 +253,20 @@ func (m *Machine) Run(main func(*Thread)) *Result {
 	m.startThread(root)
 
 	for !m.stopped {
-		t := m.pickNext()
+		// A thread running inline may already have taken this round's
+		// scheduling decision before handing the baton back; consume it
+		// instead of consulting the scheduler twice.
+		var t *Thread
+		if m.pickedValid {
+			t, m.picked, m.pickedValid = m.picked, nil, false
+		} else {
+			t = m.pickNext()
+		}
 		if t == nil {
 			break
 		}
 		m.applyOp(t)
-		if m.seq >= m.cfg.MaxSteps && !m.stopped {
-			m.stop(OutcomeAborted, trace.Event{
-				Seq: m.seq, Time: m.clock, Kind: trace.EvCrash,
-				Val: trace.Str("step limit exceeded"),
-			})
-		}
+		m.checkStepLimit()
 		if m.stopped {
 			break
 		}
@@ -261,24 +290,11 @@ func (m *Machine) Run(main func(*Thread)) *Result {
 		if len(s.outputs) > 0 {
 			res.Outputs[s.name] = s.outputs
 		}
-	}
-	if m.tr != nil {
-		for name, vals := range inputsFromTrace(m.tr, m.streams) {
-			res.InputsUsed[name] = vals
+		if len(s.inputs) > 0 {
+			res.InputsUsed[s.name] = s.inputs
 		}
 	}
 	return res
-}
-
-func inputsFromTrace(l *trace.Log, streams []streamState) map[string][]trace.Value {
-	out := make(map[string][]trace.Value)
-	for _, e := range l.Events {
-		if e.Kind == trace.EvInput && int(e.Obj) < len(streams) {
-			name := streams[e.Obj].name
-			out[name] = append(out[name], e.Val)
-		}
-	}
-	return out
 }
 
 // pickNext selects the next thread to run among those whose pending op is
@@ -345,9 +361,16 @@ func (m *Machine) enabledThreads() []*Thread {
 			m.enabledBuf = append(m.enabledBuf, t)
 		}
 	}
-	// threads are appended in ID order already; keep the sort as a
-	// defensive invariant (cheap on mostly-sorted input).
-	sort.Slice(m.enabledBuf, func(i, j int) bool { return m.enabledBuf[i].id < m.enabledBuf[j].id })
+	// threads are appended in ID order already; keep an insertion sort as
+	// a defensive invariant. On sorted input it is a single comparison
+	// pass, and unlike sort.Slice it allocates nothing — this runs on
+	// every scheduling round.
+	buf := m.enabledBuf
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].id < buf[j-1].id; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
 	return m.enabledBuf
 }
 
@@ -416,10 +439,12 @@ func (m *Machine) blockedSummary() string {
 
 // emit finalizes an event: assigns sequence and time, charges base cost,
 // appends to the oracle trace, and routes it through observers, charging
-// their recording cost.
+// their recording cost. The event is staged in a per-machine buffer
+// (observers must copy, not retain, the pointer they receive — see
+// Observer) so the hot loop performs no per-event allocation.
 func (m *Machine) emit(t *Thread, kind trace.EventKind, site trace.SiteID, obj trace.ObjID, val trace.Value, taint trace.Taint) {
 	m.clock += m.cost.opCost(kind, val.Size())
-	e := trace.Event{
+	m.evBuf = trace.Event{
 		Seq:   m.seq,
 		Time:  m.clock,
 		TID:   t.id,
@@ -431,10 +456,10 @@ func (m *Machine) emit(t *Thread, kind trace.EventKind, site trace.SiteID, obj t
 	}
 	m.seq++
 	if m.tr != nil {
-		m.tr.Append(e)
+		m.tr.Append(m.evBuf)
 	}
 	for _, o := range m.observers {
-		rc := o.OnEvent(&e)
+		rc := o.OnEvent(&m.evBuf)
 		m.recordCycles += rc
 	}
 	if kind.IsTerminal() {
@@ -447,7 +472,7 @@ func (m *Machine) emit(t *Thread, kind trace.EventKind, site trace.SiteID, obj t
 		default:
 			oc = OutcomeDeadlock
 		}
-		m.stop(oc, e)
+		m.stop(oc, m.evBuf)
 	}
 }
 
@@ -455,7 +480,7 @@ func (m *Machine) emit(t *Thread, kind trace.EventKind, site trace.SiteID, obj t
 // -1), used for deadlock reporting.
 func (m *Machine) emitMachineEvent(kind trace.EventKind, val trace.Value) {
 	m.clock += m.cost.opCost(kind, val.Size())
-	e := trace.Event{
+	m.evBuf = trace.Event{
 		Seq:  m.seq,
 		Time: m.clock,
 		TID:  -1,
@@ -464,13 +489,26 @@ func (m *Machine) emitMachineEvent(kind trace.EventKind, val trace.Value) {
 	}
 	m.seq++
 	if m.tr != nil {
-		m.tr.Append(e)
+		m.tr.Append(m.evBuf)
 	}
 	for _, o := range m.observers {
-		rc := o.OnEvent(&e)
+		rc := o.OnEvent(&m.evBuf)
 		m.recordCycles += rc
 	}
-	m.terminal = e
+	m.terminal = m.evBuf
+}
+
+// checkStepLimit aborts a runaway execution. It runs after every applied
+// op, on both the machine loop and the inline fast path — a single
+// implementation, because the two paths must emit the identical abort
+// event for the bit-equivalence contract to hold.
+func (m *Machine) checkStepLimit() {
+	if m.seq >= m.cfg.MaxSteps && !m.stopped {
+		m.stop(OutcomeAborted, trace.Event{
+			Seq: m.seq, Time: m.clock, Kind: trace.EvCrash,
+			Val: trace.Str("step limit exceeded"),
+		})
+	}
 }
 
 // stop halts scheduling. Parked threads are released by releaseAll.

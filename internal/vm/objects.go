@@ -27,21 +27,49 @@ type mutexState struct {
 
 // chanState is one FIFO channel with a fixed capacity (capacity 0 is not
 // supported; the VM has no rendezvous channels — use capacity 1 for
-// near-synchronous handoff).
+// near-synchronous handoff). The buffer is a compacting queue: pop
+// advances a head index instead of reslicing, and push reuses the array
+// once it drains (or compacts in place when it would otherwise grow), so
+// steady-state channel traffic allocates nothing.
 type chanState struct {
 	name string
 	cap  int
 	buf  []slot
+	head int
 }
 
-func (c *chanState) full() bool  { return len(c.buf) >= c.cap }
-func (c *chanState) empty() bool { return len(c.buf) == 0 }
+func (c *chanState) size() int   { return len(c.buf) - c.head }
+func (c *chanState) full() bool  { return c.size() >= c.cap }
+func (c *chanState) empty() bool { return c.size() == 0 }
+
+func (c *chanState) front() slot { return c.buf[c.head] }
+
+func (c *chanState) push(s slot) {
+	if len(c.buf) == cap(c.buf) && c.head > 0 {
+		n := copy(c.buf, c.buf[c.head:])
+		c.buf = c.buf[:n]
+		c.head = 0
+	}
+	c.buf = append(c.buf, s)
+}
+
+func (c *chanState) pop() slot {
+	s := c.buf[c.head]
+	c.buf[c.head] = slot{} // drop value references for GC
+	c.head++
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	}
+	return s
+}
 
 // streamState is one input or output stream connecting the program to its
 // environment.
 type streamState struct {
 	name     string
 	inIndex  int           // next input index to consume
+	inputs   []trace.Value // inputs consumed so far, in consumption order
 	outputs  []trace.Value // outputs emitted so far
 	inTaint  trace.Taint   // taint class applied to inputs from this stream
 	declared bool          // registered explicitly (vs auto-created)
@@ -101,7 +129,11 @@ func (m *Machine) NewChan(name string, capacity int) trace.ObjID {
 		capacity = 1
 	}
 	id := trace.ObjID(len(m.chans))
-	m.chans = append(m.chans, chanState{name: name, cap: capacity})
+	pre := capacity
+	if pre > 8 {
+		pre = 8 // push compacts in place, so deep channels grow at most once per high-water mark
+	}
+	m.chans = append(m.chans, chanState{name: name, cap: capacity, buf: make([]slot, 0, pre)})
 	return id
 }
 
@@ -188,7 +220,7 @@ func (m *Machine) CellValue(id trace.ObjID) trace.Value {
 // ChanLen returns the number of buffered values in a channel.
 func (m *Machine) ChanLen(id trace.ObjID) int {
 	if int(id) < len(m.chans) {
-		return len(m.chans[id].buf)
+		return m.chans[id].size()
 	}
 	return 0
 }

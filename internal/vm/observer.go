@@ -12,6 +12,10 @@ import (
 // (recording cost); the machine adds it to the clock and accounts it
 // separately so overhead ratios can be computed. Pure analysis observers
 // (oracles that a production system would not run) return 0.
+//
+// The *trace.Event points into a buffer the machine reuses for the next
+// event: observers must read or copy it during OnEvent, never retain the
+// pointer.
 type Observer interface {
 	OnEvent(e *trace.Event) uint64
 }

@@ -62,7 +62,7 @@ func (m *Machine) PeekEvent(t *Thread) (PendingOp, bool) {
 	case opRecv, opTryRecv, opRecvTimeout:
 		if ch := &m.chans[req.obj]; !ch.empty() {
 			p.Kind = trace.EvRecv
-			p.Val = ch.buf[0].val
+			p.Val = ch.front().val
 			p.ValKnown = true
 		} else if req.code == opRecv {
 			p.Kind = trace.EvRecv

@@ -63,33 +63,48 @@ func (s *RandomScheduler) Pick(_ *Machine, enabled []*Thread) *Thread {
 }
 
 // PCTScheduler implements the probabilistic concurrency testing strategy:
-// each thread gets a random priority; the highest-priority enabled thread
-// runs; at a small number of random change points the running thread's
-// priority drops below everyone else's. PCT finds rare orderings with
-// provable probability and is used by the inference engine to diversify
-// its search.
+// each thread gets a distinct random priority on arrival; the
+// highest-priority enabled thread runs; at a small number of random change
+// points the running thread's priority drops below everyone else's. PCT
+// finds rare orderings with provable probability and is used by the
+// inference engine to diversify its search.
 type PCTScheduler struct {
-	rng         *rand.Rand
-	prio        map[trace.ThreadID]int
-	nextPrio    int
-	changeAt    map[uint64]bool
+	rng *rand.Rand
+	// prio is dense, indexed by thread ID (IDs are assigned in spawn
+	// order, so the slice stays compact). prioUnset marks threads that
+	// have not arrived yet.
+	prio []int
+	// used tracks assigned ranks so arrivals redraw on collision:
+	// priorities are guaranteed distinct, making every pick a unique
+	// maximum (ties would make the ordering depend on iteration order).
+	used        map[int]struct{}
+	changeAt    []uint64
 	lowWatermrk int
 }
+
+// prioUnset marks a thread with no assigned priority. Assigned ranks are
+// always positive and demotions are always negative, so the sentinel can
+// collide with neither.
+const prioUnset = 0
+
+// pctRankSpace is the rank space arrivals draw from. It is much larger
+// than any plausible thread count, so collisions (and hence redraws) are
+// rare, but the redraw loop makes distinctness unconditional.
+const pctRankSpace = 1000000
 
 // NewPCTScheduler returns a PCT scheduler with the given number of
 // priority-change points spread over an expected execution length.
 func NewPCTScheduler(seed int64, expectedLen uint64, changePoints int) *PCTScheduler {
 	rng := newRand(seed)
 	s := &PCTScheduler{
-		rng:      rng,
-		prio:     make(map[trace.ThreadID]int),
-		changeAt: make(map[uint64]bool),
+		rng:  rng,
+		used: make(map[int]struct{}, 8),
 	}
 	if expectedLen == 0 {
 		expectedLen = 1
 	}
 	for i := 0; i < changePoints; i++ {
-		s.changeAt[uint64(rng.Int63n(int64(expectedLen)))] = true
+		s.changeAt = append(s.changeAt, uint64(rng.Int63n(int64(expectedLen))))
 	}
 	return s
 }
@@ -97,13 +112,40 @@ func NewPCTScheduler(seed int64, expectedLen uint64, changePoints int) *PCTSched
 // Name implements Scheduler.
 func (s *PCTScheduler) Name() string { return "pct" }
 
+// rank draws a fresh, distinct, positive priority rank.
+func (s *PCTScheduler) rank() int {
+	for {
+		r := s.rng.Intn(pctRankSpace) + 1
+		if _, taken := s.used[r]; !taken {
+			s.used[r] = struct{}{}
+			return r
+		}
+	}
+}
+
+// changePoint reports whether seq is one of the priority-change points.
+// The set is tiny (typically 3), so a linear scan beats a map lookup on
+// this per-pick path.
+func (s *PCTScheduler) changePoint(seq uint64) bool {
+	for _, at := range s.changeAt {
+		if at == seq {
+			return true
+		}
+	}
+	return false
+}
+
 // Pick implements Scheduler.
 func (s *PCTScheduler) Pick(m *Machine, enabled []*Thread) *Thread {
-	// Assign arrival priorities lazily; later arrivals get random ranks.
+	// Assign priorities lazily on arrival; each arrival gets a distinct
+	// random rank (enabled is in thread-ID order, so assignment order is
+	// deterministic).
 	for _, t := range enabled {
-		if _, ok := s.prio[t.id]; !ok {
-			s.nextPrio++
-			s.prio[t.id] = s.rng.Intn(1000000)
+		for int(t.id) >= len(s.prio) {
+			s.prio = append(s.prio, prioUnset)
+		}
+		if s.prio[t.id] == prioUnset {
+			s.prio[t.id] = s.rank()
 		}
 	}
 	best := enabled[0]
@@ -112,7 +154,7 @@ func (s *PCTScheduler) Pick(m *Machine, enabled []*Thread) *Thread {
 			best = t
 		}
 	}
-	if s.changeAt[m.seq] {
+	if s.changePoint(m.seq) {
 		s.lowWatermrk--
 		s.prio[best.id] = s.lowWatermrk
 	}

@@ -102,16 +102,57 @@ func (t *Thread) ClearTaint() { t.taint = trace.TaintNone }
 // out-of-band provenance).
 func (t *Thread) AddTaint(x trace.Taint) { t.taint |= x }
 
-// syscall parks the thread with a pending op and waits until the machine
-// has applied it. It returns the op result.
+// syscall submits the thread's pending op and waits until it is applied.
+//
+// Fast path: when this thread holds the inline scheduling baton (the
+// machine goroutine is parked inside resume), the thread runs the
+// scheduling step itself — pick, then apply if the scheduler chose it
+// again — with zero channel operations. The decision sequence, clock,
+// event trace and scheduler state evolve exactly as on the slow path;
+// only the goroutine executing the bookkeeping differs, and never more
+// than one goroutine is unparked at a time.
+//
+// Slow path: park on yieldCh and wait for the machine to apply the op.
+// Taken when the scheduler picks another thread (the decision is stashed
+// in m.picked so it is not taken twice), when the op could end this
+// thread or start another goroutine (exit, fail, crash, spawn — those
+// need the machine goroutine to supervise the handoff), or when the
+// machine stopped during an inline apply (releaseAll unwinds us).
 func (t *Thread) syscall(req opReq) trace.Value {
 	t.pending = req
-	t.m.yieldCh <- t
+	m := t.m
+	if m.inlineOwner == t && inlineEligible(req.code) {
+		if next := m.pickNext(); next == t {
+			m.applyOp(t)
+			m.checkStepLimit()
+			if !m.stopped {
+				return t.result
+			}
+			// Terminal event applied inline: hand the baton back so the
+			// machine can release every thread, ourselves included.
+		} else {
+			m.picked, m.pickedValid = next, true
+		}
+	}
+	m.yieldCh <- t
 	<-t.resumeCh
-	if t.m.stopped {
+	if m.stopped {
 		panic(errMachineStopped)
 	}
 	return t.result
+}
+
+// inlineEligible reports whether an op may be applied on the issuing
+// thread's own goroutine. Excluded are ops that terminate the thread
+// (exit, fail, crash — their apply must be followed by the machine-side
+// unwind protocol) and spawn (startThread receives the child's first park
+// on yieldCh, which must not race with the machine's own receive).
+func inlineEligible(code opCode) bool {
+	switch code {
+	case opExit, opFail, opCrash, opSpawn:
+		return false
+	}
+	return true
 }
 
 // Load reads a memory cell.
@@ -287,14 +328,20 @@ func (m *Machine) threadMain(t *Thread) {
 
 // resume lets a thread continue after its op was applied. If the thread
 // finished (exit, panic) the machine waits for its goroutine to unwind;
-// otherwise it waits for the thread to park at its next operation.
+// otherwise it grants the thread the inline scheduling baton and waits for
+// it to park at a future operation — possibly many inline steps later.
 func (m *Machine) resume(t *Thread) {
-	t.resumeCh <- struct{}{}
 	if t.done {
+		t.resumeCh <- struct{}{}
 		<-t.unwound
 		return
 	}
+	if !m.cfg.DisableInline {
+		m.inlineOwner = t
+	}
+	t.resumeCh <- struct{}{}
 	parked := <-m.yieldCh
+	m.inlineOwner = nil
 	if parked != t {
 		panic("vm: foreign thread parked during resume")
 	}
