@@ -13,15 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"debugdet/internal/core"
-	"debugdet/internal/dynokv"
-	"debugdet/internal/record"
-	"debugdet/internal/scenario"
-	"debugdet/internal/workload"
+	"debugdet"
+	"debugdet/scen"
 )
 
 func main() {
@@ -33,11 +31,12 @@ func main() {
 	budget := flag.Int("budget", 120, "inference budget per model for -eval")
 	flag.Parse()
 
+	eng := debugdet.New(debugdet.WithReplayBudget(*budget))
 	full := "dynokv-" + *name
 	if *fixed {
 		full += "-fixed"
 	}
-	s, err := workload.ByName(full)
+	s, err := eng.ByName(full)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dynokv: %v\n", err)
 		os.Exit(1)
@@ -46,10 +45,10 @@ func main() {
 	if *sweep > 0 {
 		failures := 0
 		for sd := int64(0); sd < *sweep; sd++ {
-			v := s.Exec(scenario.ExecOptions{Seed: sd})
+			v := s.Exec(scen.ExecOptions{Seed: sd})
 			if failed, _ := s.CheckFailure(v); failed {
 				failures++
-				fmt.Printf("seed=%-4d FAIL %s causes=%v\n", sd, dynokv.Stats(v), s.PresentCauses(v))
+				fmt.Printf("seed=%-4d FAIL %s causes=%v\n", sd, s.RunStats(v), s.PresentCauses(v))
 			}
 		}
 		fmt.Printf("%d/%d seeds failed\n", failures, *sweep)
@@ -57,13 +56,15 @@ func main() {
 	}
 
 	if *eval {
-		for _, m := range record.AllModels() {
-			ev, err := core.Evaluate(s, m, core.Options{ReplayBudget: *budget})
+		// The batch engine streams each (scenario, model) cell as it
+		// finishes; models evaluate concurrently across the worker pool.
+		jobs := debugdet.GridJobs([]string{full}, debugdet.Models())
+		for res, err := range eng.EvaluateBatch(context.Background(), jobs) {
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dynokv: evaluate %s: %v\n", m, err)
+				fmt.Fprintf(os.Stderr, "dynokv: evaluate %s: %v\n", res.Job.Model, err)
 				os.Exit(1)
 			}
-			fmt.Println(ev.Summary())
+			fmt.Println(res.Evaluation.Summary())
 		}
 		return
 	}
@@ -72,9 +73,9 @@ func main() {
 	if sd < 0 {
 		sd = s.DefaultSeed
 	}
-	v := s.Exec(scenario.ExecOptions{Seed: sd})
+	v := s.Exec(scen.ExecOptions{Seed: sd})
 	failed, sig := s.CheckFailure(v)
-	fmt.Printf("run: %s\n", dynokv.Stats(v))
+	fmt.Printf("run: %s\n", s.RunStats(v))
 	fmt.Printf("events=%d cycles=%d\n", v.Result.Steps, v.Result.Cycles)
 	if failed {
 		fmt.Printf("FAILURE %s — root causes present: %v\n", sig, s.PresentCauses(v))

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"os"
 
-	"debugdet/internal/eval"
+	"debugdet/figures"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent cells (default GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
 
-	o := eval.Options{ReplayBudget: *budget, Workers: *workers}
+	o := figures.Options{ReplayBudget: *budget, Workers: *workers}
 	if !*all && *fig == 0 && *table == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -41,72 +41,72 @@ func main() {
 		}
 	}
 
-	var fig2Cells []eval.Cell
+	var fig2Cells []figures.Cell
 	needFig2 := *all || *fig == 2 || *table == "df" || *table == "overhead"
 	if needFig2 {
 		run("fig2", func() error {
-			cells, err := eval.Fig2(o)
+			cells, err := figures.Fig2(o)
 			fig2Cells = cells
 			return err
 		})
 	}
 
 	if *all || *fig == 1 || *table == "du" {
-		var rows []eval.Fig1Row
+		var rows []figures.Fig1Row
 		run("fig1", func() error {
-			r, err := eval.Fig1(o)
+			r, err := figures.Fig1(o)
 			rows = r
 			return err
 		})
 		if *all || *fig == 1 {
-			fmt.Println(eval.RenderFig1(rows))
+			fmt.Println(figures.RenderFig1(rows))
 		}
 		if *all || *table == "du" {
-			var shrink eval.Cell
+			var shrink figures.Cell
 			run("shrink", func() error {
-				c, err := eval.ShrinkCell(o)
+				c, err := figures.ShrinkCell(o)
 				shrink = c
 				return err
 			})
-			fmt.Println(eval.TableDU(rows, shrink))
+			fmt.Println(figures.TableDU(rows, shrink))
 		}
 	}
 	if *all || *fig == 2 {
-		fmt.Println(eval.RenderFig2(fig2Cells))
+		fmt.Println(figures.RenderFig2(fig2Cells))
 	}
 	if *all || *table == "df" {
-		fmt.Println(eval.TableDF(fig2Cells))
+		fmt.Println(figures.TableDF(fig2Cells))
 	}
 	if *all || *table == "overhead" {
-		fmt.Println(eval.TableOverhead(fig2Cells))
+		fmt.Println(figures.TableOverhead(fig2Cells))
 	}
 	if *all || *table == "plane" {
 		run("plane", func() error {
-			rows, err := eval.TablePlane(o)
+			rows, err := figures.TablePlane(o)
 			if err != nil {
 				return err
 			}
-			fmt.Println(eval.RenderTablePlane(rows))
+			fmt.Println(figures.RenderTablePlane(rows))
 			return nil
 		})
 	}
 	if *all || *table == "dynokv" {
 		run("dynokv", func() error {
-			cells, err := eval.TableDynoKV(o)
+			cells, err := figures.TableDynoKV(o)
 			if err != nil {
 				return err
 			}
-			fmt.Println(eval.RenderTableDynoKV(cells))
+			fmt.Println(figures.RenderTableDynoKV(cells))
 			return nil
 		})
 	}
 	if *all || *table == "triggers" {
 		run("triggers", func() error {
-			rows, err := eval.TableTriggers(o)
+			rows, err := figures.TableTriggers(o)
 			if err != nil {
 				return err
 			}
-			fmt.Println(eval.RenderTableTriggers(rows))
+			fmt.Println(figures.RenderTableTriggers(rows))
 			return nil
 		})
 	}

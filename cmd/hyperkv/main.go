@@ -13,9 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
-	"debugdet/internal/hyperkv"
-	"debugdet/internal/scenario"
+	"debugdet"
+	"debugdet/scen"
 )
 
 func main() {
@@ -29,8 +30,12 @@ func main() {
 	sweep := flag.Int64("sweep", 0, "run seeds [0,n) and summarize failures")
 	flag.Parse()
 
-	s := hyperkv.Scenario()
-	params := scenario.Params{
+	s, err := debugdet.New().ByName("hyperkv-dataloss")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperkv: %v\n", err)
+		os.Exit(1)
+	}
+	params := scen.Params{
 		"clients": *clients, "rows": *rows, "servers": *servers,
 		"ranges": *ranges, "migrations": *migrations,
 	}
@@ -41,19 +46,19 @@ func main() {
 	if *sweep > 0 {
 		failures := 0
 		for sd := int64(0); sd < *sweep; sd++ {
-			v := s.Exec(scenario.ExecOptions{Seed: sd, Params: params})
+			v := s.Exec(scen.ExecOptions{Seed: sd, Params: params})
 			if failed, _ := s.CheckFailure(v); failed {
 				failures++
-				fmt.Printf("seed=%-4d FAIL %s causes=%v\n", sd, hyperkv.Stats(v), s.PresentCauses(v))
+				fmt.Printf("seed=%-4d FAIL %s causes=%v\n", sd, s.RunStats(v), s.PresentCauses(v))
 			}
 		}
 		fmt.Printf("%d/%d seeds lost rows\n", failures, *sweep)
 		return
 	}
 
-	v := s.Exec(scenario.ExecOptions{Seed: *seed, Params: params})
+	v := s.Exec(scen.ExecOptions{Seed: *seed, Params: params})
 	failed, sig := s.CheckFailure(v)
-	fmt.Printf("run: %s\n", hyperkv.Stats(v))
+	fmt.Printf("run: %s\n", s.RunStats(v))
 	fmt.Printf("events=%d cycles=%d\n", v.Result.Steps, v.Result.Cycles)
 	if failed {
 		fmt.Printf("FAILURE %s — root causes present: %v\n", sig, s.PresentCauses(v))

@@ -8,16 +8,20 @@
 //	replaydbg record -scenario overflow -model perfect -seed 2 -out run.ddrc
 //	replaydbg replay -scenario overflow -in run.ddrc
 //	replaydbg eval   -scenario hyperkv-dataloss -model debug-rcse
+//	replaydbg causes -scenario hyperkv-dataloss
 //	replaydbg show   -in run.ddrc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"debugdet"
 )
+
+var eng = debugdet.New()
 
 func main() {
 	if len(os.Args) < 2 {
@@ -36,7 +40,7 @@ func main() {
 
 	switch cmd {
 	case "list":
-		for _, s := range debugdet.Scenarios() {
+		for _, s := range eng.Scenarios() {
 			fmt.Printf("%-18s seed=%-4d %s\n", s.Name, s.DefaultSeed, s.Description)
 		}
 	case "record":
@@ -62,10 +66,11 @@ func usage() {
 // runCauses implements the paper's §5 extension: enumerate every root
 // cause that can explain the scenario's failure, from the signature alone.
 func runCauses(scenarioName string, budget int) {
+	ctx := context.Background()
 	s := mustScenario(scenarioName)
 	// Obtain the signature the way failure determinism would: from the
 	// recorded failing run's bug report.
-	rec, _, err := debugdet.Record(s, debugdet.Failure, s.DefaultSeed, nil)
+	rec, _, err := eng.Record(ctx, s, debugdet.Failure, debugdet.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -73,7 +78,10 @@ func runCauses(scenarioName string, budget int) {
 		fatal(fmt.Errorf("default seed does not fail; nothing to explain"))
 	}
 	fmt.Printf("failure signature: %q\n", rec.FailureSig)
-	ex := debugdet.ExploreCauses(s, rec.FailureSig, debugdet.Options{ReplayBudget: budget})
+	ex, err := eng.ExploreCauses(ctx, s, rec.FailureSig, debugdet.Options{ReplayBudget: budget})
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Println(ex.Summary())
 	for id, v := range ex.Found {
 		fmt.Printf("  %-18s synthesized in %d steps (outcome %s)\n",
@@ -93,7 +101,7 @@ func mustScenario(name string) *debugdet.Scenario {
 	if name == "" {
 		fatal(fmt.Errorf("missing -scenario"))
 	}
-	s, err := debugdet.ScenarioByName(name)
+	s, err := eng.ByName(name)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,10 +114,7 @@ func runRecord(scenarioName, modelName string, seed int64, out string) {
 	if err != nil {
 		fatal(err)
 	}
-	if seed == 0 {
-		seed = s.DefaultSeed
-	}
-	rec, view, err := debugdet.Record(s, model, seed, nil)
+	rec, view, err := eng.Record(context.Background(), s, model, debugdet.Options{Seed: seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -148,7 +153,10 @@ func runReplay(scenarioName, in string, budget int) {
 		name = rec.Scenario
 	}
 	s := mustScenario(name)
-	res := debugdet.Replay(s, rec, debugdet.ReplayOptions{Budget: budget})
+	res, err := eng.Replay(context.Background(), s, rec, debugdet.ReplayOptions{Budget: budget})
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("replay: ok=%v attempts=%d note=%s\n", res.Ok, res.Attempts, res.Note)
 	if res.View != nil {
 		failed, sig := s.Failure.Check(res.View)
@@ -163,7 +171,7 @@ func runEval(scenarioName, modelName string, seed int64, budget int) {
 	if err != nil {
 		fatal(err)
 	}
-	ev, err := debugdet.Evaluate(s, model, debugdet.Options{
+	ev, err := eng.Evaluate(context.Background(), s, model, debugdet.Options{
 		Seed:         seed,
 		ReplayBudget: budget,
 		RCSE:         debugdet.RCSEOptions{RaceTrigger: true},

@@ -1,4 +1,4 @@
-// Package debugdet is a replay-debugging framework built around the debug
+// Package debugdet is a replay-debugging SDK built around the debug
 // determinism model of Zamfir, Altekar, Candea and Stoica, "Debug
 // Determinism: The Sweet Spot for Replay-Based Debugging" (HotOS 2011).
 //
@@ -11,35 +11,48 @@
 // debugging-utility metrics (fidelity, efficiency, utility) and ships the
 // scenario corpus the paper discusses, including a Hypertable-like
 // distributed key-value store with the issue-63 data-loss race of the §4
-// case study, and extends it with a Dynamo-style quorum-replicated KV
-// cluster whose consistency bugs (stale reads under weak quorums,
-// deleted-data resurrection, lost hinted-handoff writes) are genuinely
-// distributed, timing-dependent root causes.
+// case study and a Dynamo-style quorum-replicated KV cluster.
 //
-// Everything runs on a deterministic virtual machine (internal/vm):
-// programs written against its thread API have every shared-state
-// operation interposed, so executions are bit-reproducible from a seed —
-// the property recorders and replayers need and a native Go scheduler
-// cannot provide.
+// # The SDK
+//
+// Debug determinism is a property developers dial in for their own
+// systems, so the workload-authoring surface is public:
+//
+//   - debugdet/sim — the deterministic virtual machine: threads, cells,
+//     locks, channels, streams and the simulated network. Programs
+//     written against its Thread API are bit-reproducible from a seed.
+//   - debugdet/scen — the scenario contract: program, environment,
+//     failure specification, root causes; plus the Registry that catalogs
+//     scenarios by name.
+//   - debugdet/trace — the event model, values and codecs everything
+//     shares.
+//
+// This root package ties them together as an Engine: a registry of
+// scenarios (built-ins pre-registered) with context-aware
+// record/replay/evaluate methods and a streaming batch evaluator.
 //
 // # Quick start
 //
-//	s, _ := debugdet.ScenarioByName("overflow")
-//	ev, _ := debugdet.Evaluate(s, debugdet.Perfect, debugdet.Options{})
+//	eng := debugdet.New()
+//	s, _ := eng.ByName("overflow")
+//	ev, _ := eng.Evaluate(context.Background(), s, debugdet.Perfect, debugdet.Options{})
 //	fmt.Println(ev.Summary())
 //
-// See the examples directory for complete programs and DESIGN.md for the
-// architecture and the experiment index.
+// Author a scenario of your own against sim/scen, eng.Register it, and
+// every determinism model can record, replay and evaluate it — see
+// Example_customScenario and the examples directory for complete
+// programs, and DESIGN.md for the architecture and the experiment index.
 package debugdet
 
 import (
 	"io"
 
 	"debugdet/internal/core"
+	"debugdet/internal/invariant"
 	"debugdet/internal/record"
 	"debugdet/internal/replay"
-	"debugdet/internal/scenario"
 	"debugdet/internal/workload"
+	"debugdet/scen"
 )
 
 // Re-exported model identifiers, in the chronological order of the paper's
@@ -56,11 +69,14 @@ const (
 type (
 	// Scenario describes a reproducible buggy program: its build
 	// function, environment, failure specification and root causes.
-	Scenario = scenario.Scenario
+	// Authors build them against debugdet/sim and debugdet/scen.
+	Scenario = scen.Scenario
 	// Params are scenario parameters.
-	Params = scenario.Params
+	Params = scen.Params
 	// RunView is a finished execution as predicates and analyses see it.
-	RunView = scenario.RunView
+	RunView = scen.RunView
+	// Registry catalogs scenarios by name; every Engine holds one.
+	Registry = scen.Registry
 	// Model identifies a determinism model.
 	Model = record.Model
 	// Recording is the persisted artifact of a recorded production run.
@@ -75,6 +91,11 @@ type (
 	Options = core.Options
 	// RCSEOptions selects RCSE heuristics.
 	RCSEOptions = core.RCSEOptions
+	// CauseExploration is the result of the §5 root-cause enumeration.
+	CauseExploration = core.CauseExploration
+	// InvariantSet is a set of likely invariants learned from healthy
+	// runs (the data-based RCSE selector's training artifact).
+	InvariantSet = invariant.Set
 )
 
 // Models lists every determinism model.
@@ -84,46 +105,22 @@ func Models() []Model { return record.AllModels() }
 // "failure", "debug-rcse").
 func ParseModel(name string) (Model, error) { return record.ParseModel(name) }
 
-// Scenarios returns the built-in corpus: the paper's motivating examples
-// (sum, overflow, msgdrop), the §4 Hypertable case study, breadth
-// scenarios (bank, deadlock), and the Dynamo-style replication family
-// (dynokv-staleread, dynokv-resurrect, dynokv-losthint).
-func Scenarios() []*Scenario { return workload.All() }
-
-// ScenarioNames lists the built-in scenario names.
-func ScenarioNames() []string { return workload.Names() }
-
-// ScenarioByName resolves a built-in scenario (including variants such as
-// "hyperkv-fixed" or "dynokv-losthint-fixed").
-func ScenarioByName(name string) (*Scenario, error) { return workload.ByName(name) }
-
-// Record runs the scenario once under the model's recorder and returns the
-// recording together with the original run. For DebugRCSE use Evaluate
-// (which performs the profiling and training RCSE needs) or assemble a
-// policy with the internal rcse package.
-func Record(s *Scenario, model Model, seed int64, params Params) (*Recording, *RunView, error) {
-	return record.Record(s, model, seed, params)
-}
-
-// Replay reconstructs an execution from a recording under the recording's
-// model semantics.
-func Replay(s *Scenario, rec *Recording, o ReplayOptions) *ReplayResult {
-	return replay.Replay(s, rec, o)
-}
-
-// Evaluate runs the full pipeline — record, replay, metrics — for one
-// scenario under one model.
-func Evaluate(s *Scenario, model Model, o Options) (*Evaluation, error) {
-	return core.Evaluate(s, model, o)
-}
-
-// ExploreCauses implements the paper's §5 extension: starting from only a
-// failure signature (what failure determinism records), synthesize one
-// execution per declared root cause that can explain the failure. The
-// returned exploration reports which explanations were reachable within
-// the budget.
-func ExploreCauses(s *Scenario, signature string, o Options) *core.CauseExploration {
-	return core.ExploreCauses(s, signature, o)
+// TrainInvariants learns likely invariants from healthy executions of the
+// scenario, one per seed — the training step of the data-based RCSE
+// selector (§3.1.2), exposed for programs that want to inspect or monitor
+// the invariants themselves. The runs use the scenario's TrainingParams
+// (the healthy build) over the given parameter overrides, exactly like
+// Options.RCSE.InvariantTrigger does inside Evaluate.
+func TrainInvariants(s *Scenario, seeds []int64, params Params) *InvariantSet {
+	inf := invariant.NewInferencer()
+	train := params.Clone(s.TrainingParams)
+	for _, seed := range seeds {
+		v := s.Exec(scen.ExecOptions{Seed: seed, Params: train})
+		if v.Trace != nil {
+			inf.AddTrace(v.Trace)
+		}
+	}
+	return inf.Infer()
 }
 
 // SaveRecording writes a recording in the binary format.
@@ -131,3 +128,61 @@ func SaveRecording(w io.Writer, rec *Recording) error { return rec.Save(w) }
 
 // LoadRecording reads a recording written by SaveRecording.
 func LoadRecording(r io.Reader) (*Recording, error) { return record.Load(r) }
+
+// Deprecated one-shot API
+//
+// The functions below predate the Engine and remain for one release as
+// thin shims. They always operate on the built-in corpus and cannot see
+// user-registered scenarios.
+
+// Scenarios returns the built-in corpus.
+//
+// Deprecated: use New().Scenarios, which also lists user-registered
+// scenarios.
+func Scenarios() []*Scenario { return workload.All() }
+
+// ScenarioNames lists the built-in scenario names.
+//
+// Deprecated: use New().Names.
+func ScenarioNames() []string { return workload.Names() }
+
+// ScenarioByName resolves a built-in scenario (including variants such as
+// "hyperkv-fixed" or "dynokv-losthint-fixed").
+//
+// Deprecated: use New().ByName.
+func ScenarioByName(name string) (*Scenario, error) { return workload.ByName(name) }
+
+// Record runs the scenario once under the model's recorder and returns the
+// recording together with the original run. For DebugRCSE use
+// Engine.Record, which performs the profiling and training RCSE needs,
+// configured by Options.RCSE.
+//
+// Deprecated: use Engine.Record, which is context-aware and supports
+// DebugRCSE.
+func Record(s *Scenario, model Model, seed int64, params Params) (*Recording, *RunView, error) {
+	return record.Record(s, model, seed, params)
+}
+
+// Replay reconstructs an execution from a recording under the recording's
+// model semantics.
+//
+// Deprecated: use Engine.Replay.
+func Replay(s *Scenario, rec *Recording, o ReplayOptions) *ReplayResult {
+	return replay.Replay(s, rec, o)
+}
+
+// Evaluate runs the full pipeline — record, replay, metrics — for one
+// scenario under one model.
+//
+// Deprecated: use Engine.Evaluate.
+func Evaluate(s *Scenario, model Model, o Options) (*Evaluation, error) {
+	return core.Evaluate(s, model, o)
+}
+
+// ExploreCauses synthesizes one execution per declared root cause that can
+// explain the failure signature (§5).
+//
+// Deprecated: use Engine.ExploreCauses.
+func ExploreCauses(s *Scenario, signature string, o Options) *CauseExploration {
+	return core.ExploreCauses(s, signature, o)
+}

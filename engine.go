@@ -1,0 +1,186 @@
+package debugdet
+
+import (
+	"context"
+	"runtime"
+
+	"debugdet/internal/core"
+	"debugdet/internal/replay"
+	"debugdet/internal/workload"
+	"debugdet/scen"
+)
+
+// Engine is the SDK's entry point: a scenario registry plus the
+// record/replay/evaluate pipeline, with one worker budget shared by every
+// parallel axis (batch grids and replay-inference pools). Engines are
+// cheap — each holds only its registry and defaults — and safe for
+// concurrent use.
+type Engine struct {
+	reg          *scen.Registry
+	workers      int
+	replayBudget int
+	builtins     bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the engine's worker budget: the number of batch cells
+// (EvaluateBatch) or inference candidates (Evaluate, Replay,
+// ExploreCauses) run concurrently. 0 means GOMAXPROCS, 1 is sequential.
+// Every result is identical for every worker count.
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithReplayBudget sets the default inference budget for search-based
+// replay (default 200). Options.ReplayBudget overrides it per call.
+func WithReplayBudget(n int) Option { return func(e *Engine) { e.replayBudget = n } }
+
+// WithoutBuiltins starts the engine with an empty registry instead of the
+// built-in corpus — for test rigs that want full control of the catalog.
+func WithoutBuiltins() Option { return func(e *Engine) { e.builtins = false } }
+
+// New builds an engine. The registry comes pre-loaded with the built-in
+// corpus — the paper's motivating examples, the §4 Hypertable case study
+// and the Dynamo-style replication family, plus their fixed variants —
+// unless WithoutBuiltins is given.
+func New(opts ...Option) *Engine {
+	e := &Engine{reg: scen.NewRegistry(), builtins: true}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.builtins {
+		for _, s := range workload.All() {
+			e.reg.MustRegister(s)
+		}
+		if err := e.reg.RegisterVariants(workload.Variants()...); err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// Registry returns the engine's scenario registry, for direct catalog
+// manipulation; Register, ByName, Names and Scenarios are conveniences
+// over it.
+func (e *Engine) Registry() *scen.Registry { return e.reg }
+
+// Register adds a user-authored scenario (and optionally its healthy
+// variants) to the engine's registry. Names must not collide with
+// built-ins or earlier registrations.
+func (e *Engine) Register(s *Scenario, variants ...*Scenario) error {
+	return e.reg.Register(s, variants...)
+}
+
+// ByName resolves a scenario or variant; unknown names get a
+// nearest-match suggestion and the list of available names.
+func (e *Engine) ByName(name string) (*Scenario, error) { return e.reg.ByName(name) }
+
+// Names lists every resolvable scenario name, sorted.
+func (e *Engine) Names() []string { return e.reg.Names() }
+
+// Scenarios returns the corpus (registered scenarios minus healthy
+// variants) in registration order.
+func (e *Engine) Scenarios() []*Scenario { return e.reg.Scenarios() }
+
+// effectiveWorkers resolves the engine's worker budget.
+func (e *Engine) effectiveWorkers() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fill applies the engine defaults and the call's context to per-call
+// options. The returned cleanup must run when the call finishes; it
+// releases the merged-context plumbing.
+func (e *Engine) fill(ctx context.Context, o Options) (Options, func()) {
+	merged, stop := mergeCtx(ctx, o.Ctx)
+	o.Ctx = merged
+	if o.ReplayBudget == 0 {
+		o.ReplayBudget = e.replayBudget
+	}
+	if o.Workers == 0 {
+		o.Workers = e.effectiveWorkers()
+	}
+	return o, stop
+}
+
+// mergeCtx reconciles the method's context argument with a context the
+// caller may have set on the options struct (the deprecated one-shot API
+// honors Options.Ctx, so the Engine must not silently drop it): when both
+// are meaningful, the merged context is canceled as soon as either is.
+// The returned cleanup detaches the merged context from its parents; run
+// it when the call completes or the child leaks until a parent ends.
+func mergeCtx(arg, opt context.Context) (context.Context, func()) {
+	noop := func() {}
+	if opt == nil || opt == context.Background() {
+		if arg == nil {
+			return context.Background(), noop
+		}
+		return arg, noop
+	}
+	if arg == nil || arg == context.Background() {
+		return opt, noop
+	}
+	merged, cancel := context.WithCancel(arg)
+	stopAfter := context.AfterFunc(opt, cancel)
+	return merged, func() {
+		stopAfter()
+		cancel()
+	}
+}
+
+// Record runs the scenario once under the model's recorder — the
+// production run — and returns the recording together with the original
+// run view. For DebugRCSE it first performs the RCSE preparation the
+// paper describes (plane-classification profiling, invariant training,
+// trigger arming), configured by o.RCSE; the other models ignore o.RCSE.
+// o.Seed selects the run (0 = scenario default).
+func (e *Engine) Record(ctx context.Context, s *Scenario, model Model, o Options) (*Recording, *RunView, error) {
+	o, stop := e.fill(ctx, o)
+	defer stop()
+	rec, view, _, err := core.RecordOnly(s, model, o)
+	return rec, view, err
+}
+
+// Replay reconstructs an execution from a recording under the recording's
+// model semantics. Cancelling ctx aborts the inference search between
+// candidate executions and returns the context error.
+func (e *Engine) Replay(ctx context.Context, s *Scenario, rec *Recording, o ReplayOptions) (*ReplayResult, error) {
+	merged, stop := mergeCtx(ctx, o.Ctx)
+	defer stop()
+	o.Ctx = merged
+	if o.Budget == 0 {
+		o.Budget = e.replayBudget
+	}
+	if o.Workers == 0 {
+		o.Workers = e.effectiveWorkers()
+	}
+	res := replay.Replay(s, rec, o)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
+}
+
+// Evaluate runs the full pipeline — record, replay, metrics — for one
+// scenario under one model. Cancelling ctx aborts at phase boundaries and
+// between inference candidates.
+func (e *Engine) Evaluate(ctx context.Context, s *Scenario, model Model, o Options) (*Evaluation, error) {
+	o, stop := e.fill(ctx, o)
+	defer stop()
+	return core.Evaluate(s, model, o)
+}
+
+// ExploreCauses implements the paper's §5 extension: starting from only a
+// failure signature (what failure determinism records), synthesize one
+// execution per declared root cause that can explain the failure. On
+// cancellation the partial exploration gathered so far is returned
+// together with the context error; causes not yet searched are reported
+// missing.
+func (e *Engine) ExploreCauses(ctx context.Context, s *Scenario, signature string, o Options) (*CauseExploration, error) {
+	o, stop := e.fill(ctx, o)
+	defer stop()
+	ex := core.ExploreCauses(s, signature, o)
+	return ex, ex.Err
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,22 +16,23 @@ import (
 )
 
 func main() {
-	s, err := debugdet.ScenarioByName("hyperkv-dataloss")
+	eng := debugdet.New()
+	s, err := eng.ByName("hyperkv-dataloss")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Hypertable issue 63 reproduction:", s.Description)
 	fmt.Println()
 
-	for _, model := range []debugdet.Model{
-		debugdet.Value, debugdet.Failure, debugdet.DebugRCSE,
-	} {
-		ev, err := debugdet.Evaluate(s, model, debugdet.Options{
-			RCSE: debugdet.RCSEOptions{RaceTrigger: false},
-		})
+	// The three models stream through the batch engine in job order;
+	// cells evaluate concurrently across the worker pool.
+	models := []debugdet.Model{debugdet.Value, debugdet.Failure, debugdet.DebugRCSE}
+	jobs := debugdet.GridJobs([]string{s.Name}, models)
+	for res, err := range eng.EvaluateBatch(context.Background(), jobs) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		ev := res.Evaluation
 		fmt.Printf("%-11s overhead=%5.2fx  log=%7dB  DF=%.3f  original cause=[%s]  replayed cause=[%s]\n",
 			ev.Model, ev.Overhead, ev.LogBytes, ev.Utility.DF,
 			join(ev.Fidelity.OrigCauses), join(ev.Fidelity.ReplayCauses))

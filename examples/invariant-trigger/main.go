@@ -5,17 +5,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"debugdet"
-	"debugdet/internal/core"
-	"debugdet/internal/invariant"
-	"debugdet/internal/scenario"
 )
 
 func main() {
-	s, err := debugdet.ScenarioByName("bank")
+	eng := debugdet.New()
+	s, err := eng.ByName("bank")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,21 +22,15 @@ func main() {
 	// Step 1: train on the healthy (fixed) build — this is what ships
 	// through testing. The probe at bank.audit observes the total after
 	// every transfer; training learns it is constant.
-	inf := invariant.NewInferencer()
-	train := s.DefaultParams.Clone(s.TrainingParams)
-	for seed := int64(100); seed < 103; seed++ {
-		v := s.Exec(scenario.ExecOptions{Seed: seed, Params: train})
-		inf.AddTrace(v.Trace)
-	}
-	set := inf.Infer()
+	set := debugdet.TrainInvariants(s, []int64{100, 101, 102}, nil)
 	fmt.Println("invariants learned from the healthy build:")
 	fmt.Print(set.Describe(nil))
 
 	// Step 2: production runs the racy build with the monitor attached as
 	// an RCSE trigger. Evaluate wires this up via the InvariantTrigger
 	// option: the first conservation violation dials fidelity up.
-	ev, err := debugdet.Evaluate(s, debugdet.DebugRCSE, debugdet.Options{
-		RCSE: core.RCSEOptions{
+	ev, err := eng.Evaluate(context.Background(), s, debugdet.DebugRCSE, debugdet.Options{
+		RCSE: debugdet.RCSEOptions{
 			InvariantTrigger:     true,
 			DisableCodeSelection: false,
 		},

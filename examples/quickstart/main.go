@@ -5,6 +5,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -12,17 +13,20 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := debugdet.New()
+
 	// The overflow scenario is the paper's §3 example: a server copies
 	// requests into a fixed buffer without a length check; an oversized
 	// request crashes it.
-	s, err := debugdet.ScenarioByName("overflow")
+	s, err := eng.ByName("overflow")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Record a production run that crashes. Perfect determinism persists
 	// every event: expensive (≈3x runtime) but replayable in one shot.
-	rec, orig, err := debugdet.Record(s, debugdet.Perfect, s.DefaultSeed, nil)
+	rec, orig, err := eng.Record(ctx, s, debugdet.Perfect, debugdet.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +48,10 @@ func main() {
 
 	// Replay: the forced schedule and forced inputs reproduce the crash
 	// deterministically.
-	res := debugdet.Replay(s, loaded, debugdet.ReplayOptions{})
+	res, err := eng.Replay(ctx, s, loaded, debugdet.ReplayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Ok || res.View == nil {
 		log.Fatalf("replay failed: %s", res.Note)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,14 +15,16 @@ import (
 )
 
 func main() {
-	s, err := debugdet.ScenarioByName("msgdrop")
+	ctx := context.Background()
+	eng := debugdet.New()
+	s, err := eng.ByName("msgdrop")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The original production run: the race loses messages, the network
 	// behaves.
-	origEv, err := debugdet.Evaluate(s, debugdet.Failure, debugdet.Options{})
+	origEv, err := eng.Evaluate(ctx, s, debugdet.Failure, debugdet.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,17 +35,17 @@ func main() {
 	// Debug determinism on the same run: the forced thread schedule pins
 	// the racy interleaving; the recorded control inputs pin the
 	// network's behaviour. The race is reproduced, not guessed.
-	rcseEv, err := debugdet.Evaluate(s, debugdet.DebugRCSE, debugdet.Options{})
+	rcseEv, err := eng.Evaluate(ctx, s, debugdet.DebugRCSE, debugdet.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("debug-deterministic replay found:    ", rcseEv.Fidelity.ReplayCauses)
 	fmt.Printf("debugging fidelity: DF = %.2f at %.2fx recording overhead (vs %.2fx for value determinism)\n",
-		rcseEv.Utility.DF, rcseEv.Overhead, valueOverhead(s))
+		rcseEv.Utility.DF, rcseEv.Overhead, valueOverhead(ctx, eng, s))
 }
 
-func valueOverhead(s *debugdet.Scenario) float64 {
-	ev, err := debugdet.Evaluate(s, debugdet.Value, debugdet.Options{})
+func valueOverhead(ctx context.Context, eng *debugdet.Engine, s *debugdet.Scenario) float64 {
+	ev, err := eng.Evaluate(ctx, s, debugdet.Value, debugdet.Options{})
 	if err != nil {
 		return 0
 	}

@@ -1,0 +1,80 @@
+// Package figures is the public experiment harness of the debugdet SDK:
+// it regenerates every figure and table of the paper's evaluation (see
+// DESIGN.md §3 for the experiment index) over the built-in corpus. Each
+// experiment returns structured rows and has a text renderer that prints
+// the series the paper plots.
+//
+// The types are aliases for the engine-internal harness, so rows flow to
+// external plotting tools unchanged. For ad-hoc grids over user-registered
+// scenarios use Engine.EvaluateBatch instead — this package exists for the
+// paper's fixed experiment set.
+package figures
+
+import (
+	"debugdet/internal/eval"
+)
+
+// Options tunes experiment cost: inference budget per cell, corpus
+// restriction, grid worker count, and a cancellation context.
+type Options = eval.Options
+
+// Cell is one (scenario, model) measurement.
+type Cell = eval.Cell
+
+// Fig1Row aggregates one determinism model over the corpus.
+type Fig1Row = eval.Fig1Row
+
+// PlaneRow is one scenario's classification-accuracy measurement.
+type PlaneRow = eval.PlaneRow
+
+// TrigRow is one RCSE-configuration ablation measurement.
+type TrigRow = eval.TrigRow
+
+// DynoKVScenarios lists the Dynamo-style replication family measured by
+// TableDynoKV.
+func DynoKVScenarios() []string { return append([]string(nil), eval.DynoKVScenarios...) }
+
+// Fig1 reproduces Figure 1: the relaxation trend over the corpus.
+func Fig1(o Options) ([]Fig1Row, error) { return eval.Fig1(o) }
+
+// RenderFig1 prints the Fig. 1 series.
+func RenderFig1(rows []Fig1Row) string { return eval.RenderFig1(rows) }
+
+// Fig2 reproduces Figure 2: the Hypertable data-loss case study.
+func Fig2(o Options) ([]Cell, error) { return eval.Fig2(o) }
+
+// RenderFig2 prints the Fig. 2 points.
+func RenderFig2(cells []Cell) string { return eval.RenderFig2(cells) }
+
+// TableDF reproduces the §4 fidelity numbers (T-DF) from Fig. 2 cells.
+func TableDF(cells []Cell) string { return eval.TableDF(cells) }
+
+// TableOverhead reproduces the §4 recording-overhead comparison (T-OVH).
+func TableOverhead(cells []Cell) string { return eval.TableOverhead(cells) }
+
+// TableDynoKV evaluates every determinism model on the replication family
+// (T-DYNO).
+func TableDynoKV(o Options) ([]Cell, error) { return eval.TableDynoKV(o) }
+
+// RenderTableDynoKV prints T-DYNO.
+func RenderTableDynoKV(cells []Cell) string { return eval.RenderTableDynoKV(cells) }
+
+// TablePlane evaluates the control-plane classifier against ground truth
+// (T-PLANE).
+func TablePlane(o Options) ([]PlaneRow, error) { return eval.TablePlane(o) }
+
+// RenderTablePlane prints T-PLANE.
+func RenderTablePlane(rows []PlaneRow) string { return eval.RenderTablePlane(rows) }
+
+// TableDU renders the corpus-wide DU = DF×DE comparison (T-DU).
+func TableDU(rows []Fig1Row, shrink Cell) string { return eval.TableDU(rows, shrink) }
+
+// ShrinkCell evaluates failure determinism with shrink parameters,
+// demonstrating DE > 1 (§3.2's execution-synthesis observation).
+func ShrinkCell(o Options) (Cell, error) { return eval.ShrinkCell(o) }
+
+// TableTriggers runs the §3.1 selector ablation (T-TRIG).
+func TableTriggers(o Options) ([]TrigRow, error) { return eval.TableTriggers(o) }
+
+// RenderTableTriggers prints T-TRIG.
+func RenderTableTriggers(rows []TrigRow) string { return eval.RenderTableTriggers(rows) }

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"debugdet/internal/invariant"
@@ -52,6 +53,11 @@ type RCSEOptions struct {
 
 // Options parameterizes one evaluation.
 type Options struct {
+	// Ctx cancels the evaluation at phase boundaries and between
+	// candidate executions of the replay-inference pool (nil =
+	// context.Background()). A canceled evaluation returns the context
+	// error.
+	Ctx context.Context
 	// Seed identifies the production run to record.
 	Seed int64
 	// Params override scenario defaults.
@@ -76,6 +82,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.ProfileSeed == 0 {
 		o.ProfileSeed = o.Seed + 101
 	}
@@ -123,11 +132,19 @@ func (e *Evaluation) Summary() string {
 		e.Utility.DF, e.Utility.DE, e.Utility.DU, e.Replay.Attempts)
 }
 
-// Evaluate runs the full pipeline for one scenario under one model.
-func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation, error) {
+// RecordOnly runs the scenario once under the model's recorder — the
+// "production run" of the pipeline — and returns the recording with the
+// original run. For DebugRCSE it first performs the RCSE preparation the
+// paper describes (profiling, training, trigger arming) according to
+// o.RCSE, and additionally returns the armed setup for trigger
+// statistics (nil for the other models).
+func RecordOnly(s *scenario.Scenario, model record.Model, o Options) (*record.Recording, *scenario.RunView, *rcse.Setup, error) {
 	o = o.withDefaults()
 	if o.Seed == 0 {
 		o.Seed = s.DefaultSeed
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return nil, nil, nil, err
 	}
 
 	var factory record.PolicyFactory
@@ -136,7 +153,7 @@ func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation,
 	case record.DebugRCSE:
 		cfg, err := PrepareRCSE(s, o)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		factory = func(m *vm.Machine) (record.Policy, []vm.Observer) {
 			setup = cfg.Build(m)
@@ -145,23 +162,47 @@ func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation,
 	default:
 		policy := record.PolicyFor(model)
 		if policy == nil {
-			return nil, fmt.Errorf("core: no stock policy for %s", model)
+			return nil, nil, nil, fmt.Errorf("core: no stock policy for %s", model)
 		}
 		factory = record.FactoryFor(policy)
 	}
 
 	rec, orig, err := record.RecordWithPolicy(s, model, factory, o.Seed, o.Params)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rec, orig, setup, nil
+}
+
+// Evaluate runs the full pipeline for one scenario under one model.
+func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation, error) {
+	o = o.withDefaults()
+	if o.Seed == 0 {
+		o.Seed = s.DefaultSeed
+	}
+
+	rec, orig, setup, err := RecordOnly(s, model, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.Ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	rep := replay.Replay(s, rec, replay.Options{
+		Ctx:          o.Ctx,
 		Budget:       o.ReplayBudget,
 		SearchSeed:   o.SearchSeed,
 		ShrinkParams: o.ShrinkParams,
 		MaxSteps:     o.MaxSteps,
 		Workers:      o.Workers,
 	})
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var repView *scenario.RunView
 	if rep.Ok {
@@ -205,6 +246,9 @@ func PrepareRCSE(s *scenario.Scenario, o Options) (rcse.Config, error) {
 		Thresholds:     o.RCSE.Thresholds,
 	}
 	if !o.RCSE.DisableCodeSelection {
+		if err := o.Ctx.Err(); err != nil {
+			return cfg, err
+		}
 		prof := s.Exec(scenario.ExecOptions{Seed: o.ProfileSeed, Params: o.Params})
 		if prof.Trace == nil {
 			return cfg, fmt.Errorf("core: profiling run produced no trace")
@@ -219,6 +263,9 @@ func PrepareRCSE(s *scenario.Scenario, o Options) (rcse.Config, error) {
 		inf := invariant.NewInferencer()
 		trainParams := s.DefaultParams.Clone(o.Params).Clone(s.TrainingParams)
 		for i := 0; i < o.RCSE.TrainingRuns; i++ {
+			if err := o.Ctx.Err(); err != nil {
+				return cfg, err
+			}
 			v := s.Exec(scenario.ExecOptions{Seed: o.ProfileSeed + 1 + int64(i), Params: trainParams})
 			if v.Trace != nil {
 				inf.AddTrace(v.Trace)

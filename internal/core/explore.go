@@ -29,6 +29,9 @@ type CauseExploration struct {
 	// Attempts and WorkSteps account the total search effort.
 	Attempts  int
 	WorkSteps uint64
+	// Err is the context error when the exploration was canceled before
+	// every cause was searched, nil otherwise.
+	Err error
 }
 
 // Summary renders the exploration.
@@ -55,11 +58,21 @@ func ExploreCauses(s *scenario.Scenario, signature string, o Options) *CauseExpl
 	}
 	perCause := o.ReplayBudget
 	for i, rc := range s.RootCauses {
+		if err := o.Ctx.Err(); err != nil {
+			// Causes not yet searched are reported missing; Err records
+			// that the budget was cut short rather than exhausted.
+			out.Err = err
+			for _, rest := range s.RootCauses[i:] {
+				out.Missing = append(out.Missing, rest.ID)
+			}
+			return out
+		}
 		rc := rc
 		res := infer.Search(s, func(v *scenario.RunView) bool {
 			failed, sig := s.CheckFailure(v)
 			return failed && sig == signature && rc.Present(v)
 		}, infer.Options{
+			Ctx:      o.Ctx,
 			Budget:   perCause,
 			BaseSeed: o.SearchSeed + int64(i)*1000003,
 			Params:   o.Params,
@@ -72,6 +85,13 @@ func ExploreCauses(s *scenario.Scenario, signature string, o Options) *CauseExpl
 			out.Found[rc.ID] = res.View
 		} else {
 			out.Missing = append(out.Missing, rc.ID)
+		}
+		if res.Err != nil {
+			out.Err = res.Err
+			for _, rest := range s.RootCauses[i+1:] {
+				out.Missing = append(out.Missing, rest.ID)
+			}
+			return out
 		}
 	}
 	return out

@@ -140,6 +140,7 @@ func StaleRead() *scenario.Scenario {
 		},
 		DefaultSeed: 8, // verified by TestStaleReadDefaultSeed
 		Build:       buildFor(ModeStaleRead),
+		Stats:       Stats,
 		Inputs:      productionInputs,
 		InputDomains: append([]scenario.InputDomain{
 			{Stream: StreamPayload, Min: 0, Max: 1023},
@@ -212,6 +213,7 @@ func Resurrect() *scenario.Scenario {
 		},
 		DefaultSeed: 1, // verified by TestResurrectDefaultSeed
 		Build:       buildFor(ModeResurrect),
+		Stats:       Stats,
 		Inputs:      productionInputs,
 		InputDomains: []scenario.InputDomain{
 			{Stream: StreamPayload, Min: 0, Max: 1023},
@@ -289,6 +291,7 @@ func LostHint() *scenario.Scenario {
 		},
 		DefaultSeed: 1, // verified by TestLostHintDefaultSeed
 		Build:       buildFor(ModeLostHint),
+		Stats:       Stats,
 		Inputs:      productionInputs,
 		InputDomains: append([]scenario.InputDomain{
 			{Stream: StreamPayload, Min: 0, Max: 1023},

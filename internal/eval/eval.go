@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,9 @@ import (
 
 // Options tunes experiment cost. The defaults match EXPERIMENTS.md.
 type Options struct {
+	// Ctx cancels the experiment between cells and at each in-flight
+	// cell's phase boundaries (nil = context.Background()).
+	Ctx context.Context
 	// ReplayBudget bounds inference attempts per cell (default 200).
 	ReplayBudget int
 	// Scenarios restricts the corpus (nil = all).
@@ -35,6 +39,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.ReplayBudget == 0 {
 		o.ReplayBudget = 200
 	}
@@ -48,12 +55,17 @@ func (o Options) withDefaults() Options {
 // worker pool, preserving determinism: fn writes its result into slot i of
 // a caller-owned slice, and the returned error is the lowest-index one, as
 // a sequential loop would have surfaced. fn must not touch shared state.
-func runGrid(n, workers int, fn func(i int) error) error {
+// Cancelling ctx stops dispatch; the grid then reports the lowest-index
+// cell error if one occurred, otherwise the context error.
+func runGrid(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -72,8 +84,19 @@ func runGrid(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	cut := false
+dispatch:
 	for i := 0; i < n; i++ {
-		idxCh <- i
+		if ctx.Err() != nil {
+			cut = true
+			break
+		}
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			cut = true
+			break dispatch
+		}
 	}
 	close(idxCh)
 	wg.Wait()
@@ -81,6 +104,11 @@ func runGrid(n, workers int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if cut {
+		// Some cells never ran; mirror the sequential loop, which would
+		// have stopped at its next ctx check.
+		return ctx.Err()
 	}
 	return nil
 }
@@ -141,6 +169,7 @@ func cellOf(ev *core.Evaluation) Cell {
 // sequential: the grid is the parallel axis (see Options.Workers).
 func runCell(s *scenario.Scenario, model record.Model, o Options) (Cell, error) {
 	ev, err := core.Evaluate(s, model, core.Options{
+		Ctx:          o.Ctx,
 		ReplayBudget: o.ReplayBudget,
 		Workers:      1,
 	})
@@ -170,7 +199,7 @@ func Fig1(o Options) ([]Fig1Row, error) {
 	models := record.AllModels()
 	corpus := o.corpus()
 	cells := make([]Cell, len(models)*len(corpus))
-	err := runGrid(len(cells), o.Workers, func(i int) error {
+	err := runGrid(o.Ctx, len(cells), o.Workers, func(i int) error {
 		model, s := models[i/len(corpus)], corpus[i%len(corpus)]
 		c, err := runCell(s, model, o)
 		if err != nil {
@@ -234,7 +263,7 @@ func Fig2(o Options) ([]Cell, error) {
 		record.Perfect, record.Output,
 	}
 	cells := make([]Cell, len(models))
-	err = runGrid(len(models), o.Workers, func(i int) error {
+	err = runGrid(o.Ctx, len(models), o.Workers, func(i int) error {
 		c, err := runCell(s, models[i], o)
 		if err != nil {
 			return fmt.Errorf("fig2 %s: %w", models[i], err)
@@ -305,7 +334,7 @@ func TableDynoKV(o Options) ([]Cell, error) {
 	o = o.withDefaults()
 	models := record.AllModels()
 	cells := make([]Cell, len(DynoKVScenarios)*len(models))
-	err := runGrid(len(cells), o.Workers, func(i int) error {
+	err := runGrid(o.Ctx, len(cells), o.Workers, func(i int) error {
 		name, model := DynoKVScenarios[i/len(models)], models[i%len(models)]
 		s, err := workload.ByName(name)
 		if err != nil {
@@ -358,7 +387,7 @@ func TablePlane(o Options) ([]PlaneRow, error) {
 		subjects = append(subjects, s)
 	}
 	rows := make([]PlaneRow, len(subjects))
-	err := runGrid(len(subjects), o.Workers, func(i int) error {
+	err := runGrid(o.Ctx, len(subjects), o.Workers, func(i int) error {
 		s := subjects[i]
 		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed + 101})
 		c := plane.ClassifyTrace(v.Trace, plane.Options{})
@@ -413,6 +442,7 @@ func ShrinkCell(o Options) (Cell, error) {
 	}
 	// A single cell: here the replay search itself is the parallel axis.
 	ev, err := core.Evaluate(s, record.Failure, core.Options{
+		Ctx:          o.Ctx,
 		ReplayBudget: o.ReplayBudget,
 		ShrinkParams: []scenario.Params{{"requests": 2}, {"requests": 4}},
 		Workers:      o.Workers,
@@ -452,13 +482,14 @@ func TableTriggers(o Options) ([]TrigRow, error) {
 	}
 	scenarios := []string{"hyperkv-dataloss", "msgdrop", "bank"}
 	rows := make([]TrigRow, len(scenarios)*len(cfgs))
-	err := runGrid(len(rows), o.Workers, func(i int) error {
+	err := runGrid(o.Ctx, len(rows), o.Workers, func(i int) error {
 		name, c := scenarios[i/len(cfgs)], cfgs[i%len(cfgs)]
 		s, err := workload.ByName(name)
 		if err != nil {
 			return err
 		}
 		ev, err := core.Evaluate(s, record.DebugRCSE, core.Options{
+			Ctx:          o.Ctx,
 			ReplayBudget: o.ReplayBudget,
 			RCSE:         c.opts,
 			Workers:      1,

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -50,9 +51,27 @@ func TestRunGridErrorIsLowestIndex(t *testing.T) {
 		return nil
 	}
 	for _, workers := range []int{1, 4} {
-		err := runGrid(10, workers, boom)
+		err := runGrid(context.Background(), 10, workers, boom)
 		if err == nil || err.Error() != "cell 3" {
 			t.Fatalf("workers=%d: error = %v, want cell 3", workers, err)
+		}
+	}
+}
+
+// TestRunGridCanceled pins cancellation: a grid run under an
+// already-canceled context returns the context error without running any
+// cell.
+func TestRunGridCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran [10]bool // one slot per cell: no shared state across fn calls
+		err := runGrid(ctx, 10, workers, func(i int) error { ran[i] = true; return nil })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: error = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran != [10]bool{} {
+			t.Fatalf("sequential canceled grid ran cells: %v", ran)
 		}
 	}
 }

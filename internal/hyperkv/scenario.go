@@ -48,6 +48,7 @@ func Scenario() *scenario.Scenario {
 		},
 		Inputs:       productionInputs,
 		InputDomains: inputDomains(),
+		Stats:        Stats,
 		Failure: scenario.FailureSpec{
 			Name:  "dataloss",
 			Check: checkDataLoss,

@@ -25,6 +25,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,11 @@ import (
 
 // Options configures a search.
 type Options struct {
+	// Ctx cancels the search between candidate executions (nil =
+	// context.Background()). A canceled search returns Ok=false with
+	// Err set; candidates already accounted stay accounted, so the
+	// Outcome of an uncanceled search is unaffected by the field.
+	Ctx context.Context
 	// Budget is the maximum number of candidate executions (default 200).
 	Budget int
 	// BaseSeed perturbs the search's own randomness so independent
@@ -82,6 +88,9 @@ type Outcome struct {
 	AcceptedParams scenario.Params
 	// Note summarizes how the result was found, for reports.
 	Note string
+	// Err is the context error when the search was canceled mid-flight,
+	// nil otherwise.
+	Err error
 }
 
 // paramTry is one slot of the candidate plan.
@@ -141,6 +150,9 @@ func runCandidate(s *scenario.Scenario, o Options, pt paramTry, i int) *scenario
 // those executions are discarded unobserved, so their scheduling on the
 // host has no effect on the Outcome.
 func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options) *Outcome {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.Budget == 0 {
 		o.Budget = 200
 	}
@@ -163,6 +175,11 @@ func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options
 func searchSeq(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options, plan []paramTry) *Outcome {
 	out := &Outcome{}
 	for i, pt := range plan {
+		if err := o.Ctx.Err(); err != nil {
+			out.Err = err
+			out.Note = "search canceled"
+			return out
+		}
 		view := runCandidate(s, o, pt, i)
 		out.Attempts++
 		out.WorkCycles += view.Result.Cycles
@@ -212,10 +229,14 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 			case <-tokens:
 			case <-stop:
 				return
+			case <-o.Ctx.Done():
+				return
 			}
 			select {
 			case idxCh <- i:
 			case <-stop:
+				return
+			case <-o.Ctx.Done():
 				return
 			}
 		}
@@ -241,10 +262,21 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 	pending := make(map[int]*scenario.RunView, workers)
 	cursor := 0
 	for cursor < len(plan) {
+		if err := o.Ctx.Err(); err != nil {
+			close(stop)
+			wg.Wait()
+			out.Err = err
+			out.Note = "search canceled"
+			return out
+		}
 		view, ok := pending[cursor]
 		if !ok {
-			r := <-resCh
-			pending[r.idx] = r.view
+			select {
+			case r := <-resCh:
+				pending[r.idx] = r.view
+			case <-o.Ctx.Done():
+				// Loop around to the cancellation path above.
+			}
 			continue
 		}
 		delete(pending, cursor)

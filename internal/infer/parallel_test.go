@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"testing"
 
 	"debugdet/internal/scenario"
@@ -96,6 +97,46 @@ func TestParallelSearchDeterministic(t *testing.T) {
 			par := Search(tc.s, tc.accept, parOpts)
 			outcomesEqual(t, name, seq, par)
 		}
+	}
+}
+
+// TestSearchCanceled pins the cancellation contract for both pool shapes:
+// a search whose context is canceled stops between candidates, reports
+// Err, and never accepts.
+func TestSearchCanceled(t *testing.T) {
+	s := workload.Overflow()
+	reject := func(*scenario.RunView) bool { return false }
+	for _, workers := range []int{1, 4} {
+		// Already canceled: no candidate may be accepted and Err must be
+		// the context error.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		out := Search(s, reject, Options{Ctx: ctx, Budget: 40, BaseSeed: 5, Workers: workers})
+		if out.Ok || out.Err != context.Canceled {
+			t.Fatalf("workers=%d: ok=%v err=%v, want canceled", workers, out.Ok, out.Err)
+		}
+		if out.Note != "search canceled" {
+			t.Fatalf("workers=%d: note = %q", workers, out.Note)
+		}
+	}
+
+	// Cancel mid-search from the accept callback: the pool must drain and
+	// stop well before the budget.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	out := Search(s, func(*scenario.RunView) bool {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return false
+	}, Options{Ctx: ctx, Budget: 500, BaseSeed: 5, Workers: 4})
+	if out.Err != context.Canceled {
+		t.Fatalf("mid-search cancel: err = %v", out.Err)
+	}
+	if out.Attempts >= 500 {
+		t.Fatalf("canceled search ran the whole budget (%d attempts)", out.Attempts)
 	}
 }
 

@@ -19,6 +19,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 
 	"debugdet/internal/infer"
@@ -30,6 +31,11 @@ import (
 
 // Options configures a replay.
 type Options struct {
+	// Ctx cancels the replay between candidate executions (nil =
+	// context.Background()); it is plumbed into the inference worker
+	// pool of search-based models. A canceled replay has Ok=false and
+	// Err set.
+	Ctx context.Context
 	// Budget bounds inference attempts for search-based models
 	// (default 200).
 	Budget int
@@ -64,12 +70,21 @@ type Result struct {
 	WorkSteps uint64
 	// Note describes how the replay was obtained.
 	Note string
+	// Err is the context error when the replay was canceled, nil
+	// otherwise.
+	Err error
 }
 
 // Replay dispatches on the recording's model.
 func Replay(s *scenario.Scenario, rec *record.Recording, o Options) *Result {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.Budget == 0 {
 		o.Budget = 200
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return &Result{Note: "replay canceled", Err: err}
 	}
 	switch rec.Model {
 	case record.Perfect:
@@ -140,6 +155,11 @@ func replayRCSE(s *scenario.Scenario, rec *record.Recording, o Options) *Result 
 		tries = o.Budget
 	}
 	for i := 0; i < tries; i++ {
+		if err := o.Ctx.Err(); err != nil {
+			res.Err = err
+			res.Note = "replay canceled"
+			return res
+		}
 		view := s.Exec(scenario.ExecOptions{
 			Seed:      rec.Seed,
 			Params:    rec.Params,
@@ -169,6 +189,7 @@ func replayOutput(s *scenario.Scenario, rec *record.Recording, o Options) *Resul
 	out := infer.Search(s, func(v *scenario.RunView) bool {
 		return outputsMatch(want, v)
 	}, infer.Options{
+		Ctx:      o.Ctx,
 		Budget:   o.Budget,
 		BaseSeed: o.SearchSeed,
 		Params:   rec.Params,
@@ -182,6 +203,7 @@ func replayOutput(s *scenario.Scenario, rec *record.Recording, o Options) *Resul
 		WorkCycles: out.WorkCycles,
 		WorkSteps:  out.WorkSteps,
 		Note:       "output-constrained search: " + out.Note,
+		Err:        out.Err,
 	}
 }
 
@@ -195,6 +217,7 @@ func replayFailure(s *scenario.Scenario, rec *record.Recording, o Options) *Resu
 		failed, sig := s.CheckFailure(v)
 		return failed && sig == rec.FailureSig
 	}, infer.Options{
+		Ctx:          o.Ctx,
 		Budget:       o.Budget,
 		BaseSeed:     o.SearchSeed,
 		Params:       rec.Params,
@@ -209,6 +232,7 @@ func replayFailure(s *scenario.Scenario, rec *record.Recording, o Options) *Resu
 		WorkCycles: out.WorkCycles,
 		WorkSteps:  out.WorkSteps,
 		Note:       "failure-signature search: " + out.Note,
+		Err:        out.Err,
 	}
 }
 

@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NearestName returns the candidate most plausibly meant by name, or ""
+// when nothing is close enough to suggest. A candidate is close when name
+// is a prefix of it (a truncated name, e.g. "dynokv-stale" for
+// "dynokv-staleread") or its edit distance is small relative to the
+// shorter of the two lengths. Ties break toward the lexicographically
+// first candidate so error messages are deterministic.
+func NearestName(name string, candidates []string) string {
+	best, bestScore, found := "", 0, false
+	for _, c := range candidates {
+		if c == name {
+			return c
+		}
+		score, ok := closeness(name, c)
+		if !ok {
+			continue
+		}
+		if !found || score > bestScore || (score == bestScore && c < best) {
+			best, bestScore, found = c, score, true
+		}
+	}
+	return best
+}
+
+// closeness scores how plausibly the user meant candidate c when typing
+// name; higher is closer. ok is false when c is not worth suggesting.
+func closeness(name, c string) (int, bool) {
+	if strings.HasPrefix(c, name) && len(name) >= 3 {
+		// Truncations are the most common typo class; rank by how much
+		// of the candidate was typed.
+		return 1000 + len(name) - len(c), true
+	}
+	d := editDistance(name, c)
+	short := len(name)
+	if len(c) < short {
+		short = len(c)
+	}
+	if d > short/3 {
+		return 0, false
+	}
+	return -d, true
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// UnknownNameError builds the standard unknown-scenario error: it names
+// the nearest match when one exists and always lists what is available.
+func UnknownNameError(pkg, name string, available []string) error {
+	if near := NearestName(name, available); near != "" {
+		return fmt.Errorf("%s: unknown scenario %q — did you mean %q? (available: %s)",
+			pkg, name, near, strings.Join(available, ", "))
+	}
+	return fmt.Errorf("%s: unknown scenario %q (available: %s)",
+		pkg, name, strings.Join(available, ", "))
+}

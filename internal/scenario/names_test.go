@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNearestName(t *testing.T) {
+	have := []string{"overflow", "dynokv-staleread", "dynokv-resurrect", "sum", "bank"}
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"dynokv-stale", "dynokv-staleread"},     // truncation
+		{"overfow", "overflow"},                  // dropped letter
+		{"overflw", "overflow"},                  // dropped letter
+		{"Sum", "sum"},                           // case slip: one substitution
+		{"banana", ""},                           // nothing close
+		{"dynokv-resurect", "dynokv-resurrect"},  // dropped letter mid-word
+		{"dynokv-staleread", "dynokv-staleread"}, // exact
+	}
+	for _, c := range cases {
+		if got := NearestName(c.in, have); got != c.want {
+			t.Errorf("NearestName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnknownNameError(t *testing.T) {
+	err := UnknownNameError("workload", "dynokv-stale",
+		[]string{"dynokv-staleread", "sum"})
+	msg := err.Error()
+	for _, want := range []string{`did you mean "dynokv-staleread"?`, "sum", "workload:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	err = UnknownNameError("scen", "zzz", []string{"sum"})
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("no-suggestion error unexpectedly suggests: %v", err)
+	}
+}

@@ -150,6 +150,9 @@ type Scenario struct {
 	// fixed variant of a racy program — training happens before the bug
 	// ships, on code that passes its tests).
 	TrainingParams Params
+	// Stats optionally renders a one-line run summary for CLI output;
+	// RunStats falls back to a generic summary when nil.
+	Stats func(v *RunView) string
 }
 
 // ExecOptions parameterizes one execution of a scenario.
@@ -203,6 +206,16 @@ func (s *Scenario) Exec(o ExecOptions) *RunView {
 		res.Trace.Header.Params = map[string]int64(p)
 	}
 	return &RunView{Machine: m, Result: res, Trace: res.Trace}
+}
+
+// RunStats renders the scenario's one-line run summary, falling back to a
+// generic events/outcome line when the scenario declares none.
+func (s *Scenario) RunStats(v *RunView) string {
+	if s.Stats != nil {
+		return s.Stats(v)
+	}
+	return fmt.Sprintf("events=%d cycles=%d outcome=%s",
+		v.Result.Steps, v.Result.Cycles, v.Result.Outcome)
 }
 
 // CheckFailure evaluates the failure spec on a view.

@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"fmt"
 	"sort"
 
 	"debugdet/internal/dynokv"
@@ -49,7 +48,8 @@ func Names() []string {
 	return names
 }
 
-// ByName resolves a scenario or variant.
+// ByName resolves a scenario or variant. An unknown name's error lists
+// the available names and suggests the nearest match.
 func ByName(name string) (*scenario.Scenario, error) {
 	for _, s := range All() {
 		if s.Name == name {
@@ -61,5 +61,5 @@ func ByName(name string) (*scenario.Scenario, error) {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+	return nil, scenario.UnknownNameError("workload", name, Names())
 }

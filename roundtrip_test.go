@@ -1,0 +1,110 @@
+package debugdet_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"debugdet"
+)
+
+// normalizeRecording maps nil and empty slices/maps to a canonical form so
+// a recording can be compared with its decoded round-trip, which
+// reconstructs absent collections as empty ones (or vice versa).
+func normalizeRecording(r *debugdet.Recording) *debugdet.Recording {
+	c := *r
+	if len(c.Params) == 0 {
+		c.Params = nil
+	}
+	if len(c.Full) == 0 {
+		c.Full = nil
+	}
+	if len(c.Sched) == 0 {
+		c.Sched = nil
+	}
+	if len(c.Streams) == 0 {
+		c.Streams = nil
+	}
+	return &c
+}
+
+// TestRecordingRoundTripAllModels is the persistence property test: for a
+// recording from every determinism model — including RCSE, whose policy is
+// built by the engine's preparation pipeline — SaveRecording followed by
+// LoadRecording reproduces every field. The only tolerated difference is
+// Overhead, which the format quantizes to 1/1000.
+func TestRecordingRoundTripAllModels(t *testing.T) {
+	eng := debugdet.New()
+	if err := eng.Register(newTicketScenario()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, scenarioName := range []string{"overflow", "ticket-oversell"} {
+		s, err := eng.ByName(scenarioName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range debugdet.Models() {
+			rec, _, err := eng.Record(ctx, s, model, debugdet.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: record: %v", scenarioName, model, err)
+			}
+			var buf bytes.Buffer
+			if err := debugdet.SaveRecording(&buf, rec); err != nil {
+				t.Fatalf("%s/%s: save: %v", scenarioName, model, err)
+			}
+			loaded, err := debugdet.LoadRecording(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s/%s: load: %v", scenarioName, model, err)
+			}
+
+			if math.Abs(loaded.Overhead-rec.Overhead) > 0.001 {
+				t.Errorf("%s/%s: overhead %v -> %v, drift beyond quantization",
+					scenarioName, model, rec.Overhead, loaded.Overhead)
+			}
+			want, got := normalizeRecording(rec), normalizeRecording(loaded)
+			want.Overhead, got.Overhead = 0, 0
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: round-trip not lossless:\nwant %+v\ngot  %+v",
+					scenarioName, model, want, got)
+			}
+		}
+	}
+}
+
+// TestRecordingTruncatedStream pins clean failure: every strict prefix of
+// a valid recording stream must produce an error from LoadRecording —
+// never a panic, and never a silently truncated recording.
+func TestRecordingTruncatedStream(t *testing.T) {
+	eng := debugdet.New()
+	s, err := eng.ByName("overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range debugdet.Models() {
+		rec, _, err := eng.Record(context.Background(), s, model, debugdet.Options{})
+		if err != nil {
+			t.Fatalf("%s: record: %v", model, err)
+		}
+		var buf bytes.Buffer
+		if err := debugdet.SaveRecording(&buf, rec); err != nil {
+			t.Fatalf("%s: save: %v", model, err)
+		}
+		data := buf.Bytes()
+		for n := 0; n < len(data); n++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: LoadRecording panicked on %d/%d-byte prefix: %v",
+							model, n, len(data), r)
+					}
+				}()
+				if _, err := debugdet.LoadRecording(bytes.NewReader(data[:n])); err == nil {
+					t.Errorf("%s: %d/%d-byte prefix loaded without error", model, n, len(data))
+				}
+			}()
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package scen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"debugdet/internal/scenario"
+)
+
+// Registry is a named scenario catalog: the corpus an engine evaluates
+// plus the healthy variants of its fixable scenarios. The engine's
+// registry comes pre-loaded with the built-in corpus; user scenarios are
+// added with Register and from then on resolve, record, replay and
+// evaluate exactly like built-ins.
+//
+// Resolution rules: every name — corpus or variant — is unique across the
+// registry and resolvable by ByName; variants (for example
+// "hyperkv-fixed", the build after the fix) are excluded from Scenarios,
+// so corpus-wide experiments evaluate only failing programs while
+// invariant training and A/B debugging can still reach the healthy
+// builds.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu           sync.RWMutex
+	corpusOrder  []string
+	variantOrder []string
+	byName       map[string]*Scenario
+	variant      map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName:  make(map[string]*Scenario),
+		variant: make(map[string]bool),
+	}
+}
+
+// Register adds a scenario and, optionally, its healthy variants. Every
+// name must be non-empty and unused; a duplicate name — including a clash
+// with a built-in — is an error, so user corpora cannot silently shadow
+// existing scenarios.
+// Registration is atomic: if any scenario in the call fails validation,
+// nothing is registered, so a failed call can be corrected and retried.
+func (r *Registry) Register(s *Scenario, variants ...*Scenario) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.validateLocked(append([]*Scenario{s}, variants...)); err != nil {
+		return err
+	}
+	r.insertLocked(s, false)
+	for _, v := range variants {
+		r.insertLocked(v, true)
+	}
+	return nil
+}
+
+// RegisterVariants adds healthy variants that are not tied to a single
+// corpus scenario registered in the same call (the built-in corpus
+// registers its fixed builds this way). The same name and atomicity
+// rules apply.
+func (r *Registry) RegisterVariants(variants ...*Scenario) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.validateLocked(variants); err != nil {
+		return err
+	}
+	for _, v := range variants {
+		r.insertLocked(v, true)
+	}
+	return nil
+}
+
+// validateLocked checks a whole registration batch — against the registry
+// and against itself — before anything is inserted; callers hold r.mu.
+func (r *Registry) validateLocked(batch []*Scenario) error {
+	inBatch := make(map[string]bool, len(batch))
+	for _, sc := range batch {
+		if sc == nil {
+			return fmt.Errorf("scen: Register called with nil scenario")
+		}
+		if sc.Name == "" {
+			return fmt.Errorf("scen: scenario has no name")
+		}
+		if sc.Build == nil {
+			return fmt.Errorf("scen: scenario %q has no Build function", sc.Name)
+		}
+		if _, exists := r.byName[sc.Name]; exists || inBatch[sc.Name] {
+			return fmt.Errorf("scen: duplicate scenario name %q", sc.Name)
+		}
+		inBatch[sc.Name] = true
+	}
+	return nil
+}
+
+// insertLocked stores one validated scenario; callers hold r.mu.
+func (r *Registry) insertLocked(sc *Scenario, isVariant bool) {
+	r.byName[sc.Name] = sc
+	if isVariant {
+		r.variant[sc.Name] = true
+		r.variantOrder = append(r.variantOrder, sc.Name)
+	} else {
+		r.corpusOrder = append(r.corpusOrder, sc.Name)
+	}
+}
+
+// MustRegister is Register, panicking on error — for package-level corpus
+// construction where a duplicate name is a programming error.
+func (r *Registry) MustRegister(s *Scenario, variants ...*Scenario) {
+	if err := r.Register(s, variants...); err != nil {
+		panic(err)
+	}
+}
+
+// ByName resolves a scenario or variant. An unknown name's error lists
+// the available names and suggests the nearest match.
+func (r *Registry) ByName(name string) (*Scenario, error) {
+	r.mu.RLock()
+	s, ok := r.byName[name]
+	r.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	return nil, scenario.UnknownNameError("scen", name, r.Names())
+}
+
+// Names lists every resolvable name — corpus plus variants — sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenarios returns the corpus — every registered scenario except the
+// variants — in registration order.
+func (r *Registry) Scenarios() []*Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Scenario, len(r.corpusOrder))
+	for i, n := range r.corpusOrder {
+		out[i] = r.byName[n]
+	}
+	return out
+}
+
+// Variants returns the registered healthy variants in registration order.
+func (r *Registry) Variants() []*Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Scenario, len(r.variantOrder))
+	for i, n := range r.variantOrder {
+		out[i] = r.byName[n]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package scen_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"debugdet/scen"
+	"debugdet/sim"
+	"debugdet/trace"
+)
+
+func stub(name string) *scen.Scenario {
+	return &scen.Scenario{
+		Name: name,
+		Build: func(m *sim.Machine, p scen.Params) func(*sim.Thread) {
+			cell := m.NewCell("x", trace.Int(0))
+			site := m.Site("stub")
+			return func(t *sim.Thread) { t.Store(site, cell, trace.Int(1)) }
+		},
+		Inputs: func(seed int64, p scen.Params) sim.InputSource {
+			return sim.ZeroInputs
+		},
+		Failure: scen.FailureSpec{
+			Name:  "never",
+			Check: func(v *scen.RunView) (bool, string) { return false, "" },
+		},
+	}
+}
+
+func TestRegistryContract(t *testing.T) {
+	r := scen.NewRegistry()
+	if err := r.Register(stub("a"), stub("a-fixed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(stub("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterVariants(stub("b-fixed")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicates rejected, wherever the name lives.
+	for _, dup := range []string{"a", "a-fixed", "b-fixed"} {
+		if err := r.Register(stub(dup)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("duplicate %q: err = %v", dup, err)
+		}
+	}
+	// Invalid registrations rejected.
+	if err := r.Register(nil); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if err := r.Register(&scen.Scenario{Name: "nobuild"}); err == nil {
+		t.Error("scenario without Build accepted")
+	}
+	if err := r.Register(&scen.Scenario{Build: stub("x").Build}); err == nil {
+		t.Error("scenario without name accepted")
+	}
+
+	// Corpus excludes variants; Names includes everything, sorted.
+	var corpus []string
+	for _, s := range r.Scenarios() {
+		corpus = append(corpus, s.Name)
+	}
+	if strings.Join(corpus, ",") != "a,b" {
+		t.Errorf("corpus = %v, want [a b]", corpus)
+	}
+	if got := strings.Join(r.Names(), ","); got != "a,a-fixed,b,b-fixed" {
+		t.Errorf("names = %v", got)
+	}
+	var variants []string
+	for _, s := range r.Variants() {
+		variants = append(variants, s.Name)
+	}
+	if strings.Join(variants, ",") != "a-fixed,b-fixed" {
+		t.Errorf("variants = %v", variants)
+	}
+
+	// Everything resolves; unknown names get a suggestion.
+	for _, n := range r.Names() {
+		if _, err := r.ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := r.ByName("a-fixd"); err == nil || !strings.Contains(err.Error(), `did you mean "a-fixed"?`) {
+		t.Errorf("suggestion missing: %v", err)
+	}
+}
+
+// TestRegistryRegisterAtomic pins atomicity: a call rejected because of
+// one bad entry registers nothing, so it can be corrected and retried.
+func TestRegistryAtomic(t *testing.T) {
+	r := scen.NewRegistry()
+	if err := r.Register(stub("a"), &scen.Scenario{Name: ""}); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if _, err := r.ByName("a"); err == nil {
+		t.Fatal("failed Register left the primary scenario registered")
+	}
+	// Duplicates within one batch are also rejected wholesale.
+	if err := r.Register(stub("b"), stub("b")); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("in-batch duplicate: err = %v", err)
+	}
+	if len(r.Names()) != 0 {
+		t.Fatalf("registry not empty after failed registrations: %v", r.Names())
+	}
+	// The corrected retry succeeds.
+	if err := r.Register(stub("a"), stub("a-fixed")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := scen.NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if err := r.Register(stub(name)); err != nil {
+				t.Errorf("register %s: %v", name, err)
+			}
+			r.Names()
+			if _, err := r.ByName(name); err != nil {
+				t.Errorf("resolve %s: %v", name, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Scenarios()) != 8 {
+		t.Fatalf("got %d scenarios", len(r.Scenarios()))
+	}
+}
