@@ -1,0 +1,60 @@
+package debugdet_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"debugdet"
+)
+
+// TestEvaluateBatchEarlyBreakNoLeak pins EvaluateBatch's termination
+// contract: consuming only the first cell of the iter.Seq2 and breaking
+// out of the range loop must wind down the whole worker pool — no
+// goroutine may outlive the iterator. Checked goleak-style via the
+// runtime.NumGoroutine delta, polled because canceled workers finish
+// their in-flight cell before exiting.
+func TestEvaluateBatchEarlyBreakNoLeak(t *testing.T) {
+	eng := debugdet.New(debugdet.WithWorkers(4), debugdet.WithReplayBudget(60))
+	// Enough jobs that workers are still mid-grid when the consumer
+	// leaves; search-heavy failure cells keep them busy.
+	jobs := debugdet.GridJobs(
+		[]string{"sum", "overflow", "bank", "msgdrop", "fuzz-atomicity", "fuzz-oversell"},
+		debugdet.Models())
+
+	before := runtime.NumGoroutine()
+	for range 3 {
+		n := 0
+		for res, err := range eng.EvaluateBatch(context.Background(), jobs) {
+			if err != nil {
+				t.Fatalf("%s/%s: %v", res.Job.Scenario, res.Job.Model, err)
+			}
+			if res.Evaluation == nil {
+				t.Fatal("first cell has no evaluation")
+			}
+			n++
+			break // consume one cell only; the rest of the grid is abandoned
+		}
+		if n != 1 {
+			t.Fatalf("consumed %d cells, want 1", n)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines off the scheduler
+		now := runtime.NumGoroutine()
+		// Allow a little slack for runtime bookkeeping goroutines; a
+		// leaked pool would hold 4 workers + feeder per iteration.
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after early break\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

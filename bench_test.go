@@ -277,6 +277,45 @@ func BenchmarkTableDynoKV(b *testing.B) {
 	}
 }
 
+// BenchmarkTableFuzz regenerates the generated-family table (T-FUZZ):
+// every determinism model over the four fuzz scenarios at their pinned
+// defaults.
+func BenchmarkTableFuzz(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := eval.TableFuzz(benchOpts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != len(eval.FuzzScenarios)*len(record.AllModels()) {
+			b.Fatalf("fuzz cells = %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkProgen measures generation and one execution of each fuzz
+// template over a fixed set of generator seeds — the fuzzer's inner
+// loop. The gen set is pinned so every iteration does identical work
+// and ns/op is comparable across runs.
+func BenchmarkProgen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range eval.FuzzScenarios {
+			s, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for gen := int64(0); gen < 8; gen++ {
+				v := s.Exec(scenario.ExecOptions{
+					Seed:   s.DefaultSeed,
+					Params: scenario.Params{"gen": gen},
+				})
+				if v.Result.Steps == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkPerfectReplay measures deterministic replay of a perfect
 // recording of the case-study workload.
 func BenchmarkPerfectReplay(b *testing.B) {

@@ -7,7 +7,8 @@
 //	figures -all
 //	figures -fig 1
 //	figures -fig 2
-//	figures -table df|overhead|plane|du|triggers|dynokv
+//	figures -table df|overhead|plane|du|triggers|dynokv|fuzz
+//	figures -table fuzz -gen 1234 # rerun a generator seed from go test -fuzz
 //	figures -budget 100           # bound inference attempts per cell
 //	figures -workers 4            # cell-grid parallelism (default GOMAXPROCS, 1 = sequential)
 package main
@@ -22,11 +23,19 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1 or 2)")
-	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv)")
+	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv, fuzz)")
 	all := flag.Bool("all", false, "regenerate everything")
 	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
 	workers := flag.Int("workers", 0, "concurrent cells (default GOMAXPROCS; results are identical for any value)")
+	genVal := flag.Int64("gen", 0, "generator seed for -table fuzz (omit for the pinned failing defaults)")
 	flag.Parse()
+	// Distinguish "-gen 0" (a real fuzzer seed) from an absent flag.
+	var gen *int64
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "gen" {
+			gen = genVal
+		}
+	})
 
 	o := figures.Options{ReplayBudget: *budget, Workers: *workers}
 	if !*all && *fig == 0 && *table == "" {
@@ -97,6 +106,16 @@ func main() {
 				return err
 			}
 			fmt.Println(figures.RenderTableDynoKV(cells))
+			return nil
+		})
+	}
+	if *all || *table == "fuzz" {
+		run("fuzz", func() error {
+			cells, err := figures.TableFuzz(o, gen)
+			if err != nil {
+				return err
+			}
+			fmt.Println(figures.RenderTableFuzz(cells, gen))
 			return nil
 		})
 	}

@@ -59,6 +59,20 @@ func TableDynoKV(o Options) ([]Cell, error) { return eval.TableDynoKV(o) }
 // RenderTableDynoKV prints T-DYNO.
 func RenderTableDynoKV(cells []Cell) string { return eval.RenderTableDynoKV(cells) }
 
+// FuzzScenarios lists the generated fuzz family measured by TableFuzz.
+func FuzzScenarios() []string { return append([]string(nil), eval.FuzzScenarios...) }
+
+// TableFuzz evaluates every determinism model on the generated scenario
+// family (T-FUZZ). A nil gen keeps each family's pinned failing default;
+// any pointed-to value — including 0 and negative raw fuzzer seeds —
+// regenerates all four programs from that generator seed: the hook for
+// rerunning a seed found by go test -fuzz through the full evaluation
+// pipeline.
+func TableFuzz(o Options, gen *int64) ([]Cell, error) { return eval.TableFuzz(o, gen) }
+
+// RenderTableFuzz prints T-FUZZ.
+func RenderTableFuzz(cells []Cell, gen *int64) string { return eval.RenderTableFuzz(cells, gen) }
+
 // TablePlane evaluates the control-plane classifier against ground truth
 // (T-PLANE).
 func TablePlane(o Options) ([]PlaneRow, error) { return eval.TablePlane(o) }

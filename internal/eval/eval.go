@@ -15,6 +15,7 @@ import (
 	"debugdet/internal/core"
 	"debugdet/internal/dynokv"
 	"debugdet/internal/plane"
+	"debugdet/internal/progen"
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
 	"debugdet/internal/workload"
@@ -168,8 +169,18 @@ func cellOf(ev *core.Evaluation) Cell {
 // separately in the T-TRIG ablation. The inner replay search is pinned
 // sequential: the grid is the parallel axis (see Options.Workers).
 func runCell(s *scenario.Scenario, model record.Model, o Options) (Cell, error) {
+	return runCellAt(s, model, o, 0, nil)
+}
+
+// runCellAt is runCell with an explicit production seed and parameter
+// overrides (both zero-valued for the standard tables; T-FUZZ pins them
+// to a regenerated program). All tables share this one cell constructor
+// so they can never drift apart.
+func runCellAt(s *scenario.Scenario, model record.Model, o Options, seed int64, params scenario.Params) (Cell, error) {
 	ev, err := core.Evaluate(s, model, core.Options{
 		Ctx:          o.Ctx,
+		Seed:         seed,
+		Params:       params,
 		ReplayBudget: o.ReplayBudget,
 		Workers:      1,
 	})
@@ -362,6 +373,72 @@ func RenderTableDynoKV(cells []Cell) string {
 		"scenario", "model", "overhead", "logbytes", "DF", "DE", "DU", "replay cause")
 	for _, c := range cells {
 		fmt.Fprintf(&b, "%-18s %-12s %8.2fx %9d %6.3f %7.3f %7.3f %-16s\n",
+			c.Scenario, c.Model, c.Overhead, c.LogBytes, c.DF, c.DE, c.DU, c.ReplayCause)
+	}
+	return b.String()
+}
+
+// FuzzScenarios lists the generated fuzz family measured by T-FUZZ,
+// derived from the progen corpus so the table can never drift from the
+// catalog.
+var FuzzScenarios = func() []string {
+	var names []string
+	for _, s := range progen.Corpus() {
+		names = append(names, s.Name)
+	}
+	return names
+}()
+
+// TableFuzz evaluates every determinism model on the generated fuzz
+// family (T-FUZZ). gen selects the generator seed: nil keeps each
+// family's pinned failing default; any value — including 0 and the
+// negative raw seeds go test -fuzz can report — regenerates all four
+// programs from that seed AND runs them at the scheduler seed the fuzz
+// targets derive from it (progen.ForSeed), so a fuzzer-found execution
+// reproduces exactly through the full evaluation pipeline.
+func TableFuzz(o Options, gen *int64) ([]Cell, error) {
+	o = o.withDefaults()
+	models := record.AllModels()
+	var params scenario.Params
+	var seed int64
+	if gen != nil {
+		p := progen.ForSeed(*gen)
+		params = p.Params
+		seed = p.Seed
+	}
+	cells := make([]Cell, len(FuzzScenarios)*len(models))
+	err := runGrid(o.Ctx, len(cells), o.Workers, func(i int) error {
+		name, model := FuzzScenarios[i/len(models)], models[i%len(models)]
+		s, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		c, err := runCellAt(s, model, o, seed, params)
+		if err != nil {
+			return fmt.Errorf("fuzz %s/%s: %w", name, model, err)
+		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// RenderTableFuzz prints T-FUZZ.
+func RenderTableFuzz(cells []Cell, gen *int64) string {
+	var b strings.Builder
+	b.WriteString("Table FUZZ — determinism models on the generated scenario family\n")
+	if gen == nil {
+		b.WriteString("(pinned failing defaults; rerun any fuzzer seed with -gen)\n\n")
+	} else {
+		fmt.Fprintf(&b, "(all four templates regenerated from generator seed %d)\n\n", progen.Normalize(*gen))
+	}
+	fmt.Fprintf(&b, "%-16s %-12s %9s %9s %6s %7s %7s %-16s\n",
+		"scenario", "model", "overhead", "logbytes", "DF", "DE", "DU", "replay cause")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-16s %-12s %8.2fx %9d %6.3f %7.3f %7.3f %-16s\n",
 			c.Scenario, c.Model, c.Overhead, c.LogBytes, c.DF, c.DE, c.DU, c.ReplayCause)
 	}
 	return b.String()

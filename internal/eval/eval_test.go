@@ -127,6 +127,40 @@ func TestTableDynoKVSweetSpot(t *testing.T) {
 	}
 }
 
+func TestTableFuzzConverges(t *testing.T) {
+	cells, err := TableFuzz(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(FuzzScenarios)*len(record.AllModels()) {
+		t.Fatalf("fuzz table has %d cells", len(cells))
+	}
+	// On the pinned defaults every model reproduces the generated failure
+	// within the harness budget; the wider seed space (where relaxed
+	// models start missing) is swept by the progen oracles.
+	for _, c := range cells {
+		if c.DF != 1 {
+			t.Errorf("%s/%s: DF = %v, want 1", c.Scenario, c.Model, c.DF)
+		}
+		if c.Model == record.Failure && c.LogBytes != 0 {
+			t.Errorf("%s/failure recorded %d bytes", c.Scenario, c.LogBytes)
+		}
+	}
+	if !strings.Contains(RenderTableFuzz(cells, nil), "fuzz-atomicity") {
+		t.Fatal("fuzz table rendering broken")
+	}
+	// A non-default generator seed regenerates all four programs; the
+	// grid must still evaluate cleanly (fidelity is seed-dependent).
+	gen := int64(77)
+	regen, err := TableFuzz(Options{ReplayBudget: 40, Workers: 2}, &gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderTableFuzz(regen, &gen), "generator seed 77") {
+		t.Fatal("fuzz table gen annotation missing")
+	}
+}
+
 func TestTablePlaneHighAccuracy(t *testing.T) {
 	rows, err := TablePlane(Options{})
 	if err != nil {

@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"testing"
+
+	"debugdet/internal/progen"
+	"debugdet/internal/scenario"
+)
+
+// oracleBudget keeps the sweep affordable: generated programs are tiny
+// (tens to hundreds of events), so search-based models converge — or
+// demonstrably fail — well within this many attempts.
+const oracleBudget = 32
+
+// TestDifferentialOracles is the fuzzer's main theorem: the four
+// metamorphic invariants of the record/replay system — replay
+// reproduction, DF monotonicity, worker-count invariance, shrink
+// soundness — hold over a fixed corpus of generated programs. The sweep
+// is deterministic: every program, every recording and every search is a
+// pure function of the seed, so this either always passes or always
+// fails. It also asserts the corpus is adversarial enough to mean
+// something: every family must contribute failing production runs, and
+// shrinking must trigger somewhere.
+func TestDifferentialOracles(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 28
+	}
+	failedByFamily := make(map[progen.Family]int)
+	shrunk := 0
+	for seed := 0; seed < seeds; seed++ {
+		p := progen.ForSeed(int64(seed))
+		rep, err := Check(p, oracleBudget)
+		if err != nil {
+			t.Fatalf("seed %d (%s gen=%d sched=%d): %v", seed, p.Family, p.GenSeed, p.Seed, err)
+		}
+		if rep.Failed {
+			failedByFamily[p.Family]++
+		}
+		if rep.Shrunk {
+			shrunk++
+		}
+	}
+	for _, f := range progen.Families() {
+		if failedByFamily[f] == 0 {
+			t.Errorf("family %s never failed across %d seeds; the corpus is not adversarial", f, seeds)
+		}
+	}
+	if shrunk == 0 {
+		t.Errorf("no seed produced a shrunken failing execution across %d seeds", seeds)
+	}
+	t.Logf("%d seeds: failures per family %v, %d shrunk", seeds, failedByFamily, shrunk)
+}
+
+// TestOraclesOnPinnedDefaults runs the oracles on the catalog's four
+// pinned default programs with the full default budget — the exact cells
+// the matrix and figures pipelines evaluate.
+func TestOraclesOnPinnedDefaults(t *testing.T) {
+	for i, s := range progen.Corpus() {
+		p := progen.Program{
+			Family:   progen.Families()[i],
+			GenSeed:  s.DefaultParams.Get("gen", 0),
+			Seed:     s.DefaultSeed,
+			Scenario: s,
+			Params:   scenario.Params{"gen": s.DefaultParams.Get("gen", 0)},
+		}
+		rep, err := Check(p, 120)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if !rep.Failed {
+			t.Errorf("%s: pinned default did not fail under the oracle pipeline", s.Name)
+		}
+	}
+}

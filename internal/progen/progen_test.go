@@ -1,0 +1,137 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// TestGenerationDeterministic pins the generator contract: the same
+// generator seed always yields the same program — two executions from the
+// same (gen, scheduler seed) pair are event-identical.
+func TestGenerationDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		p := ForSeed(seed)
+		a := p.Scenario.Exec(scenario.ExecOptions{Seed: p.Seed, Params: p.Params})
+		b := p.Scenario.Exec(scenario.ExecOptions{Seed: p.Seed, Params: p.Params})
+		if !trace.EventsEqual(a.Trace, b.Trace, false) {
+			t.Fatalf("seed %d: two generations of %s differ", seed, p.Scenario.Name)
+		}
+	}
+}
+
+// TestForSeedCoversFamilies pins the seed → program mapping: every family
+// is reachable, negative seeds fold cleanly, and the params carry the
+// generator seed.
+func TestForSeedCoversFamilies(t *testing.T) {
+	seen := make(map[Family]bool)
+	for seed := int64(-8); seed < 8; seed++ {
+		p := ForSeed(seed)
+		seen[p.Family] = true
+		if p.GenSeed < 0 {
+			t.Fatalf("seed %d: negative GenSeed %d", seed, p.GenSeed)
+		}
+		if p.Seed <= 0 {
+			t.Fatalf("seed %d: scheduler seed %d not positive", seed, p.Seed)
+		}
+		if got := p.Params.Get("gen", -1); got != p.GenSeed {
+			t.Fatalf("seed %d: params gen = %d, want %d", seed, got, p.GenSeed)
+		}
+		if !strings.HasPrefix(p.Scenario.Name, "fuzz-") {
+			t.Fatalf("seed %d: scenario name %q", seed, p.Scenario.Name)
+		}
+	}
+	if len(seen) != len(Families()) {
+		t.Fatalf("only %d of %d families reachable", len(seen), len(Families()))
+	}
+	// Each pinned generator seed was chosen with gen % 4 equal to its
+	// family index, so the raw gens double as fuzz seeds for their own
+	// family (seedCorpus in fuzz_test.go relies on this).
+	pins := map[Family]int64{
+		Atomicity:   atomicityGen,
+		LockCycle:   lockCycleGen,
+		LostMessage: lostMessageGen,
+		Oversell:    oversellGen,
+	}
+	for f, gen := range pins {
+		if got := ForSeed(gen); got.Family != f || got.GenSeed != gen {
+			t.Errorf("ForSeed(%d) = %s/gen=%d, want %s/gen=%d", gen, got.Family, got.GenSeed, f, gen)
+		}
+	}
+	if Normalize(-1) != 0 || Normalize(5) != 5 {
+		t.Error("Normalize fold broken")
+	}
+}
+
+// TestProgramsTerminate sweeps generator seeds: every generated program
+// must finish — normally, failing, crashed or deadlocked — well under the
+// VM step limit. An aborted run means the generator emitted a livelock.
+func TestProgramsTerminate(t *testing.T) {
+	const maxSteps = 1 << 16
+	for seed := int64(0); seed < 200; seed++ {
+		p := ForSeed(seed)
+		v := p.Scenario.Exec(scenario.ExecOptions{Seed: p.Seed, Params: p.Params, MaxSteps: maxSteps})
+		if v.Result.Outcome == vm.OutcomeAborted {
+			t.Fatalf("seed %d: %s (gen=%d) hit the step limit", seed, p.Scenario.Name, p.GenSeed)
+		}
+	}
+}
+
+// TestCorpusDefaultsFail pins the catalog contract: each family's pinned
+// (gen, scheduler seed) default manifests its failure with the declared
+// root cause, and each fixed variant never fails across a seed sweep.
+func TestCorpusDefaultsFail(t *testing.T) {
+	wantCause := map[string]string{
+		"fuzz-atomicity": "unlocked-rmw",
+		"fuzz-deadlock":  "lock-order-inversion",
+		"fuzz-lostmsg":   "lossy-link",
+		"fuzz-oversell":  "toctou-window",
+	}
+	for _, s := range Corpus() {
+		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+		failed, sig := s.CheckFailure(v)
+		if !failed || sig == "" {
+			t.Errorf("%s: pinned default seed %d does not fail", s.Name, s.DefaultSeed)
+			continue
+		}
+		found := false
+		for _, c := range s.PresentCauses(v) {
+			if c == wantCause[s.Name] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: cause %q absent from %v", s.Name, wantCause[s.Name], s.PresentCauses(v))
+		}
+	}
+	for _, s := range FixedVariants() {
+		for seed := int64(0); seed < 12; seed++ {
+			for gen := int64(0); gen < 6; gen++ {
+				v := s.Exec(scenario.ExecOptions{Seed: seed, Params: scenario.Params{"gen": gen}})
+				if failed, sig := s.CheckFailure(v); failed {
+					t.Fatalf("%s gen=%d seed=%d still fails with %q", s.Name, gen, seed, sig)
+				}
+			}
+		}
+	}
+}
+
+// TestFamilyDistinctness: the four templates inject genuinely different
+// bugs — their default failures carry four distinct signatures.
+func TestFamilyDistinctness(t *testing.T) {
+	sigs := make(map[string]string)
+	for _, s := range Corpus() {
+		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+		_, sig := s.CheckFailure(v)
+		if prev, dup := sigs[sig]; dup {
+			t.Fatalf("families %s and %s share signature %q", prev, s.Name, sig)
+		}
+		sigs[sig] = s.Name
+	}
+	if len(sigs) < 4 {
+		t.Fatalf("only %d distinct failure signatures", len(sigs))
+	}
+}

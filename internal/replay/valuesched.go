@@ -162,18 +162,34 @@ func (s *valueGuidedScheduler) Pick(m *vm.Machine, enabled []*vm.Thread) *vm.Thr
 		return t
 	}
 
-	// The wanted thread is blocked (e.g. on a lock): run free moves —
-	// threads whose pending op is unlogged — in rotation until it wakes.
-	var frees []*vm.Thread
+	// The wanted thread is blocked (e.g. on a lock) or not yet spawned:
+	// run free moves — threads whose pending op is unlogged — in rotation
+	// until it wakes. Lock acquisitions are deferred behind every other
+	// free move: an eager out-of-order acquire can manufacture a lock
+	// cycle the original execution avoided and dead-end the replay in a
+	// spurious deadlock (found by the progen differential oracles), while
+	// releases, yields and spawns only ever unblock progress. Acquires
+	// still run when they are the only move left — the wanted thread may
+	// be waiting on a channel value from inside that critical section.
+	var frees, acquires []*vm.Thread
 	for _, t := range enabled {
 		p, ok := m.PeekEvent(t)
-		if ok && !valueLogged(p.Kind) {
+		if !ok || valueLogged(p.Kind) {
+			continue
+		}
+		if p.Kind == trace.EvLock {
+			acquires = append(acquires, t)
+		} else {
 			frees = append(frees, t)
 		}
 	}
 	if len(frees) > 0 {
 		s.rr++
 		return frees[s.rr%len(frees)]
+	}
+	if len(acquires) > 0 {
+		s.rr++
+		return acquires[s.rr%len(acquires)]
 	}
 	s.deadEnd = true
 	return nil

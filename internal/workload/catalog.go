@@ -5,14 +5,18 @@ import (
 
 	"debugdet/internal/dynokv"
 	"debugdet/internal/hyperkv"
+	"debugdet/internal/progen"
 	"debugdet/internal/scenario"
 )
 
 // All returns the full buggy-scenario corpus, in a stable order: the
 // paper's three motivating examples (§2's sum and message-drop server,
 // §3's buffer overflow), the §4 Hypertable case study, two breadth
-// scenarios, and the Dynamo-style replication family (stale reads under
-// weak quorums, deleted-data resurrection, lost hinted-handoff writes).
+// scenarios, the Dynamo-style replication family (stale reads under
+// weak quorums, deleted-data resurrection, lost hinted-handoff writes),
+// and the generated fuzz family (one seed-parameterized scenario per
+// progen bug template, pinned to a failing default; any other generator
+// seed is reproducible via Params{"gen": seed}).
 func All() []*scenario.Scenario {
 	out := []*scenario.Scenario{
 		Sum(),
@@ -22,7 +26,8 @@ func All() []*scenario.Scenario {
 		Bank(),
 		Deadlock(),
 	}
-	return append(out, dynokv.Family()...)
+	out = append(out, dynokv.Family()...)
+	return append(out, progen.Corpus()...)
 }
 
 // Variants returns the healthy builds of the fixable scenarios — the
@@ -31,7 +36,8 @@ func All() []*scenario.Scenario {
 // experiments evaluate only failing runs.
 func Variants() []*scenario.Scenario {
 	out := []*scenario.Scenario{hyperkv.FixedScenario()}
-	return append(out, dynokv.FixedVariants()...)
+	out = append(out, dynokv.FixedVariants()...)
+	return append(out, progen.FixedVariants()...)
 }
 
 // Names lists every resolvable scenario name — the corpus plus the fixed

@@ -10,8 +10,8 @@ import (
 
 func TestCatalogIsStable(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
-		t.Fatalf("corpus has %d scenarios, want 9", len(all))
+	if len(all) != 13 {
+		t.Fatalf("corpus has %d scenarios, want 13", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, s := range all {
@@ -66,6 +66,39 @@ func TestDynoKVFamilyRegistered(t *testing.T) {
 	}
 }
 
+// TestFuzzFamilyRegistered pins the catalog contract for the generated
+// family: every fuzz scenario and its fixed variant resolve by name, and
+// an arbitrary generator seed is reproducible through the "gen" param.
+func TestFuzzFamilyRegistered(t *testing.T) {
+	names := make(map[string]bool)
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"fuzz-atomicity", "fuzz-deadlock", "fuzz-lostmsg", "fuzz-oversell",
+		"fuzz-atomicity-fixed", "fuzz-deadlock-fixed", "fuzz-lostmsg-fixed", "fuzz-oversell-fixed",
+	} {
+		if !names[want] {
+			t.Errorf("Names() is missing %q", want)
+		}
+		if _, err := ByName(want); err != nil {
+			t.Errorf("ByName(%q): %v", want, err)
+		}
+	}
+	// Seed reproduction: the same scenario resolved from the catalog
+	// regenerates any generator seed deterministically.
+	s, err := ByName("fuzz-oversell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := scenario.Params{"gen": 41}
+	a := s.Exec(scenario.ExecOptions{Seed: 5, Params: p})
+	b := s.Exec(scenario.ExecOptions{Seed: 5, Params: p})
+	if !trace.EventsEqual(a.Trace, b.Trace, false) {
+		t.Fatal("gen param does not reproduce the generated program")
+	}
+}
+
 // TestDefaultSeedsFail pins every scenario's default seed to a failing run
 // with exactly the expected original root cause.
 func TestDefaultSeedsFail(t *testing.T) {
@@ -79,6 +112,10 @@ func TestDefaultSeedsFail(t *testing.T) {
 		"dynokv-staleread": "weak-quorum",
 		"dynokv-resurrect": "tombstone-gc",
 		"dynokv-losthint":  "hint-abandoned",
+		"fuzz-atomicity":   "unlocked-rmw",
+		"fuzz-deadlock":    "lock-order-inversion",
+		"fuzz-lostmsg":     "lossy-link",
+		"fuzz-oversell":    "toctou-window",
 	}
 	for _, s := range All() {
 		s := s

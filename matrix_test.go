@@ -46,6 +46,22 @@ func TestFullMatrix(t *testing.T) {
 		"dynokv-losthint": {
 			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
 		},
+		// The generated fuzz family (internal/progen): small programs with
+		// pinned failing defaults, so every model converges within budget;
+		// the differential oracles in internal/progen sweep the wider seed
+		// space where the relaxed models start missing.
+		"fuzz-atomicity": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"fuzz-deadlock": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"fuzz-lostmsg": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"fuzz-oversell": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
 	}
 	if len(expect) != len(Scenarios()) {
 		t.Fatalf("matrix covers %d scenarios, corpus has %d", len(expect), len(Scenarios()))

@@ -1,0 +1,131 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"debugdet/trace"
+)
+
+// sampleLog builds a small log through the public surface only: a site
+// table, a header and one event of each value kind.
+func sampleLog() *trace.Log {
+	l := trace.NewLog(trace.Header{
+		Scenario: "sample",
+		Seed:     7,
+		Params:   map[string]int64{"n": 3},
+	})
+	l.Sites = trace.NewSiteTable()
+	sA := l.Sites.Register("prog.a")
+	sB := l.Sites.Register("prog.b")
+	l.Append(trace.Event{Seq: 0, Time: 1, TID: 0, Kind: trace.EvSpawn, Site: trace.NoSite, Obj: 1, Val: trace.Str("worker")})
+	l.Append(trace.Event{Seq: 1, Time: 3, TID: 1, Kind: trace.EvStore, Site: sA, Obj: 0, Val: trace.Int(42), Taint: trace.TaintData})
+	l.Append(trace.Event{Seq: 2, Time: 5, TID: 1, Kind: trace.EvInput, Site: sB, Obj: 2, Val: trace.Bool(true), Taint: trace.TaintControl})
+	l.Append(trace.Event{Seq: 3, Time: 8, TID: 1, Kind: trace.EvOutput, Site: sB, Obj: 3, Val: trace.Bytes([]byte{1, 2, 3})})
+	l.Append(trace.Event{Seq: 4, Time: 9, TID: 0, Kind: trace.EvExit})
+	return l
+}
+
+// TestValueConstructors pins the public value model: each constructor
+// yields the right kind and round-trips through the accessors.
+func TestValueConstructors(t *testing.T) {
+	cases := []struct {
+		v    trace.Value
+		kind trace.ValueKind
+	}{
+		{trace.Int(-5), trace.VInt},
+		{trace.Str("hi"), trace.VString},
+		{trace.Bytes([]byte("raw")), trace.VBytes},
+	}
+	for i, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("case %d: kind = %v, want %v", i, c.v.Kind, c.kind)
+		}
+	}
+	if trace.Int(-5).AsInt() != -5 {
+		t.Error("Int round trip failed")
+	}
+	if trace.Bool(true).AsInt() != 1 || trace.Bool(false).AsInt() != 0 {
+		t.Error("Bool encoding is not 0/1")
+	}
+	if trace.Bool(true).IsNil() {
+		t.Error("Bool value reports nil")
+	}
+	if !trace.Str("x").Equal(trace.Str("x")) || trace.Str("x").Equal(trace.Str("y")) {
+		t.Error("string equality broken")
+	}
+	if trace.Int(1).Equal(trace.Str("1")) {
+		t.Error("cross-kind values compare equal")
+	}
+}
+
+// TestCodecRoundTrip pins the public codec: Encode → Decode preserves the
+// header, the site table and every event; EncodedSize matches the bytes
+// actually written.
+func TestCodecRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	n, err := trace.Encode(&buf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if sz := trace.EncodedSize(l); sz != n {
+		t.Fatalf("EncodedSize = %d, encoded = %d", sz, n)
+	}
+	got, err := trace.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Scenario != "sample" || got.Header.Seed != 7 || got.Header.Params["n"] != 3 {
+		t.Fatalf("header mangled: %+v", got.Header)
+	}
+	if !trace.EventsEqual(l, got, false) {
+		t.Fatal("decoded events differ from original")
+	}
+	sA, sB := l.Events[1].Site, l.Events[2].Site
+	if got.SiteName(sA) != "prog.a" || got.SiteName(sB) != "prog.b" {
+		t.Fatalf("site table mangled: %q %q", got.SiteName(sA), got.SiteName(sB))
+	}
+}
+
+// TestLogComparisons pins the public comparison helpers.
+func TestLogComparisons(t *testing.T) {
+	a, b := sampleLog(), sampleLog()
+	if !trace.EventsEqual(a, b, false) {
+		t.Fatal("identical logs compare unequal")
+	}
+	// A time-only perturbation is ignored with ignoreTime, caught without.
+	b.Events[1].Time += 100
+	if trace.EventsEqual(a, b, false) {
+		t.Fatal("timestamp change not detected")
+	}
+	if !trace.EventsEqual(a, b, true) {
+		t.Fatal("ignoreTime did not ignore timestamps")
+	}
+	if !trace.OutputsEqual(a, b) {
+		t.Fatal("outputs should be unaffected by timestamps")
+	}
+	// An output-value change flips OutputsEqual.
+	b.Events[3].Val = trace.Bytes([]byte{9})
+	if trace.OutputsEqual(a, b) {
+		t.Fatal("output change not detected")
+	}
+}
+
+// TestWriteJSON pins the JSON export for external tooling.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sample", "prog.a", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON export missing %q:\n%s", want, out)
+		}
+	}
+}
