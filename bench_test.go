@@ -1,13 +1,16 @@
 package debugdet
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"debugdet/internal/core"
 	"debugdet/internal/eval"
 	"debugdet/internal/race"
 	"debugdet/internal/record"
+	"debugdet/internal/replay"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
@@ -333,5 +336,88 @@ func BenchmarkPerfectReplay(b *testing.B) {
 		if !res.Ok {
 			b.Fatalf("replay failed: %s", res.Note)
 		}
+	}
+}
+
+// benchLongRecording records a long-trace production run (a scaled-up
+// bank) under the perfect model, checkpointed every interval events
+// (0 = no checkpoints).
+func benchLongRecording(b *testing.B, interval uint64) (*Scenario, *Recording) {
+	b.Helper()
+	s, err := workload.ByName("bank")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, _, _, err := core.RecordOnly(s, record.Perfect, core.Options{
+		Params:             scenario.Params{"transfers": 400},
+		CheckpointInterval: interval,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, rec
+}
+
+// BenchmarkCheckpointSeek measures time-travel latency: positioning a
+// replay at 90% of a long trace, with checkpoints (restore + short
+// scheduled suffix) against without (scheduled replay of the whole
+// prefix). The T-CKPT table records the deterministic event counts behind
+// these timings.
+func BenchmarkCheckpointSeek(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		interval uint64
+	}{{"checkpointed", 1024}, {"from-start", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, rec := benchLongRecording(b, cfg.interval)
+			target := rec.EventCount * 9 / 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess, err := replay.Seek(s, rec, target, replay.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sess.Pos() != target {
+					b.Fatalf("seek landed at %d, want %d", sess.Pos(), target)
+				}
+				sess.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentedReplay measures validated replay of a long perfect
+// recording: plain sequential replay against segmented replay at several
+// worker counts. Segment count tracks the worker budget (a restore costs
+// one feed replay of its prefix, so over-segmenting turns wall-clock
+// wins into restore work); the speedup at workers>1 on a multi-core host
+// is the tentpole claim of the checkpoint subsystem, and EXPERIMENTS.md
+// records the measured numbers together with the deterministic
+// critical-path accounting from T-CKPT.
+func BenchmarkSegmentedReplay(b *testing.B) {
+	// First find the trace length, then checkpoint at quarters so the
+	// segments match a small worker pool.
+	_, plain := benchLongRecording(b, 0)
+	s, rec := benchLongRecording(b, plain.EventCount/4)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := replay.Replay(s, rec, replay.Options{})
+			if !res.Ok {
+				b.Fatalf("sequential replay failed: %s", res.Note)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := replay.Segmented(s, rec, replay.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Ok {
+					b.Fatalf("segmented replay diverged at %d", res.Mismatch)
+				}
+			}
+		})
 	}
 }

@@ -7,7 +7,7 @@
 //	figures -all
 //	figures -fig 1
 //	figures -fig 2
-//	figures -table df|overhead|plane|du|triggers|dynokv|fuzz
+//	figures -table df|overhead|plane|du|triggers|dynokv|fuzz|ckpt
 //	figures -table fuzz -gen 1234 # rerun a generator seed from go test -fuzz
 //	figures -budget 100           # bound inference attempts per cell
 //	figures -workers 4            # cell-grid parallelism (default GOMAXPROCS, 1 = sequential)
@@ -23,11 +23,12 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1 or 2)")
-	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv, fuzz)")
+	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv, fuzz, ckpt)")
 	all := flag.Bool("all", false, "regenerate everything")
 	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
 	workers := flag.Int("workers", 0, "concurrent cells (default GOMAXPROCS; results are identical for any value)")
 	genVal := flag.Int64("gen", 0, "generator seed for -table fuzz (omit for the pinned failing defaults)")
+	ckpt := flag.Uint64("ckpt", 0, "checkpoint interval for perfect-model cells (0 = off; affects -table overhead)")
 	flag.Parse()
 	// Distinguish "-gen 0" (a real fuzzer seed) from an absent flag.
 	var gen *int64
@@ -37,7 +38,7 @@ func main() {
 		}
 	})
 
-	o := figures.Options{ReplayBudget: *budget, Workers: *workers}
+	o := figures.Options{ReplayBudget: *budget, Workers: *workers, CheckpointInterval: *ckpt}
 	if !*all && *fig == 0 && *table == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -116,6 +117,16 @@ func main() {
 				return err
 			}
 			fmt.Println(figures.RenderTableFuzz(cells, gen))
+			return nil
+		})
+	}
+	if *all || *table == "ckpt" {
+		run("ckpt", func() error {
+			rows, err := figures.TableCheckpoint(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(figures.RenderTableCheckpoint(rows))
 			return nil
 		})
 	}

@@ -1,15 +1,11 @@
 // Command replaydbg is the replay debugger's CLI: record a scenario under
-// a determinism model, replay a recording, or run the full evaluation
-// pipeline with metrics.
+// a determinism model, replay a recording (front-to-back, seeked, or as an
+// interactive time-travel session), or run the full evaluation pipeline
+// with metrics.
 //
-// Usage:
-//
-//	replaydbg list
-//	replaydbg record -scenario overflow -model perfect -seed 2 -out run.ddrc
-//	replaydbg replay -scenario overflow -in run.ddrc
-//	replaydbg eval   -scenario hyperkv-dataloss -model debug-rcse
-//	replaydbg causes -scenario hyperkv-dataloss
-//	replaydbg show   -in run.ddrc
+// The usage text is generated from the command table below, so the help
+// can never drift from the actual verb set. Run "replaydbg help" (or any
+// unknown verb/flag) for the synopsis; unknown flags exit with status 2.
 package main
 
 import (
@@ -17,50 +13,179 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"debugdet"
 )
 
 var eng = debugdet.New()
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	scenarioName := fs.String("scenario", "", "scenario name (see 'replaydbg list')")
-	modelName := fs.String("model", "perfect", "determinism model")
-	seed := fs.Int64("seed", 0, "scheduler seed (0 = scenario default)")
-	out := fs.String("out", "", "recording output path")
-	in := fs.String("in", "", "recording input path")
-	budget := fs.Int("budget", 200, "inference budget for relaxed-model replay")
-	fs.Parse(os.Args[2:])
+// opts carries every flag any command accepts; each command registers only
+// the flags it uses, so unknown flags fail fast.
+type opts struct {
+	scenario string
+	model    string
+	seed     int64
+	out      string
+	in       string
+	budget   int
+	ckpt     uint64
+	to       uint64
+	script   string
+}
 
-	switch cmd {
-	case "list":
-		for _, s := range eng.Scenarios() {
-			fmt.Printf("%-18s seed=%-4d %s\n", s.Name, s.DefaultSeed, s.Description)
-		}
-	case "record":
-		runRecord(*scenarioName, *modelName, *seed, *out)
-	case "replay":
-		runReplay(*scenarioName, *in, *budget)
-	case "eval":
-		runEval(*scenarioName, *modelName, *seed, *budget)
-	case "causes":
-		runCauses(*scenarioName, *budget)
-	case "show":
-		runShow(*in)
-	default:
-		usage()
-		os.Exit(2)
+// flag registration helpers, composed per command.
+func scenarioFlag(fs *flag.FlagSet, o *opts) {
+	fs.StringVar(&o.scenario, "scenario", "", "scenario name (see 'replaydbg list')")
+}
+func modelFlag(fs *flag.FlagSet, o *opts) {
+	fs.StringVar(&o.model, "model", "perfect", "determinism model")
+}
+func seedFlag(fs *flag.FlagSet, o *opts) {
+	fs.Int64Var(&o.seed, "seed", 0, "scheduler seed (0 = scenario default)")
+}
+func outFlag(fs *flag.FlagSet, o *opts) {
+	fs.StringVar(&o.out, "out", "", "recording output path")
+}
+func inFlag(fs *flag.FlagSet, o *opts) {
+	fs.StringVar(&o.in, "in", "", "recording input path")
+}
+func budgetFlag(fs *flag.FlagSet, o *opts) {
+	fs.IntVar(&o.budget, "budget", 200, "inference budget for relaxed-model replay")
+}
+func ckptFlag(fs *flag.FlagSet, o *opts) {
+	fs.Uint64Var(&o.ckpt, "ckpt", 0, "checkpoint interval in events (0 = off for record, default for debug/seek)")
+}
+func toFlag(fs *flag.FlagSet, o *opts) {
+	fs.Uint64Var(&o.to, "to", 0, "target event to seek to")
+}
+func scriptFlag(fs *flag.FlagSet, o *opts) {
+	fs.StringVar(&o.script, "script", "", "semicolon-separated debug commands to run instead of reading stdin")
+}
+
+// command is one CLI verb. Usage text and dispatch both derive from the
+// table, so adding a verb here is the single step that makes it exist.
+type command struct {
+	name     string
+	synopsis string
+	flags    []func(*flag.FlagSet, *opts)
+	run      func(o *opts)
+}
+
+// commands is populated in init: the "help" entry prints the table it
+// lives in, which a declaration-time initializer would make a cycle.
+var commands []command
+
+func init() {
+	commands = []command{
+		{"list", "list the scenario corpus", nil,
+			func(*opts) { runList() }},
+		{"record", "record a production run under a determinism model",
+			[]func(*flag.FlagSet, *opts){scenarioFlag, modelFlag, seedFlag, outFlag, ckptFlag},
+			func(o *opts) { runRecord(o.scenario, o.model, o.seed, o.out, o.ckpt) }},
+		{"replay", "replay a recording front-to-back",
+			[]func(*flag.FlagSet, *opts){scenarioFlag, inFlag, budgetFlag},
+			func(o *opts) { runReplay(o.scenario, o.in, o.budget) }},
+		{"seek", "jump to an event of a recording and show the state there",
+			[]func(*flag.FlagSet, *opts){scenarioFlag, inFlag, toFlag},
+			func(o *opts) { runSeek(o.scenario, o.in, o.to) }},
+		{"debug", "interactive time-travel session over a recording",
+			[]func(*flag.FlagSet, *opts){scenarioFlag, inFlag, seedFlag, ckptFlag, scriptFlag},
+			func(o *opts) { runDebug(o.scenario, o.in, o.seed, o.ckpt, o.script) }},
+		{"eval", "run the record → replay → metrics pipeline",
+			[]func(*flag.FlagSet, *opts){scenarioFlag, modelFlag, seedFlag, budgetFlag},
+			func(o *opts) { runEval(o.scenario, o.model, o.seed, o.budget) }},
+		{"causes", "enumerate root causes explaining the failure signature",
+			[]func(*flag.FlagSet, *opts){scenarioFlag, budgetFlag},
+			func(o *opts) { runCauses(o.scenario, o.budget) }},
+		{"show", "print a recording's summary and first events",
+			[]func(*flag.FlagSet, *opts){inFlag},
+			func(o *opts) { runShow(o.in) }},
+		{"help", "print this usage text", nil,
+			func(*opts) { usage(os.Stdout) }},
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: replaydbg <list|record|replay|eval|causes|show> [flags]")
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	for i := range commands {
+		cmd := &commands[i]
+		if cmd.name != name {
+			continue
+		}
+		var o opts
+		fs := flag.NewFlagSet(cmd.name, flag.ContinueOnError)
+		for _, reg := range cmd.flags {
+			reg(fs, &o)
+		}
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "replaydbg %s: unexpected argument %q\n", cmd.name, fs.Arg(0))
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		cmd.run(&o)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "replaydbg: unknown command %q\n", name)
+	usage(os.Stderr)
+	os.Exit(2)
+}
+
+// usage renders the verb table.
+func usage(w *os.File) {
+	names := make([]string, len(commands))
+	for i, c := range commands {
+		names[i] = c.name
+	}
+	fmt.Fprintf(w, "usage: replaydbg <%s> [flags]\n\n", strings.Join(names, "|"))
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-8s %s\n", c.name, c.synopsis)
+	}
+	fmt.Fprintln(w, "\nRun any command with -h for its flags.")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replaydbg:", err)
+	os.Exit(1)
+}
+
+func mustScenario(name string) *debugdet.Scenario {
+	if name == "" {
+		fatal(fmt.Errorf("missing -scenario"))
+	}
+	s, err := eng.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func loadRecording(path string) *debugdet.Recording {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rec, err := debugdet.LoadRecording(f)
+	if err != nil {
+		fatal(err)
+	}
+	return rec
+}
+
+func runList() {
+	for _, s := range eng.Scenarios() {
+		fmt.Printf("%-18s seed=%-4d %s\n", s.Name, s.DefaultSeed, s.Description)
+	}
 }
 
 // runCauses implements the paper's §5 extension: enumerate every root
@@ -83,7 +208,13 @@ func runCauses(scenarioName string, budget int) {
 		fatal(err)
 	}
 	fmt.Println(ex.Summary())
-	for id, v := range ex.Found {
+	ids := make([]string, 0, len(ex.Found))
+	for id := range ex.Found {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := ex.Found[id]
 		fmt.Printf("  %-18s synthesized in %d steps (outcome %s)\n",
 			id, v.Result.Steps, v.Result.Outcome)
 	}
@@ -92,34 +223,25 @@ func runCauses(scenarioName string, budget int) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "replaydbg:", err)
-	os.Exit(1)
-}
-
-func mustScenario(name string) *debugdet.Scenario {
-	if name == "" {
-		fatal(fmt.Errorf("missing -scenario"))
-	}
-	s, err := eng.ByName(name)
-	if err != nil {
-		fatal(err)
-	}
-	return s
-}
-
-func runRecord(scenarioName, modelName string, seed int64, out string) {
+func runRecord(scenarioName, modelName string, seed int64, out string, ckpt uint64) {
 	s := mustScenario(scenarioName)
 	model, err := debugdet.ParseModel(modelName)
 	if err != nil {
 		fatal(err)
 	}
-	rec, view, err := eng.Record(context.Background(), s, model, debugdet.Options{Seed: seed})
+	rec, view, err := eng.Record(context.Background(), s, model, debugdet.Options{
+		Seed:               seed,
+		CheckpointInterval: ckpt,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	failed, sig := s.Failure.Check(view)
 	fmt.Printf("recorded: %s\n", rec.Summary())
+	if len(rec.Checkpoints) > 0 {
+		fmt.Printf("checkpoints: %d every %d events (%d bytes)\n",
+			len(rec.Checkpoints), ckpt, rec.CheckpointBytes)
+	}
 	fmt.Printf("original run: outcome=%s failed=%v sig=%q causes=%v\n",
 		view.Result.Outcome, failed, sig, s.PresentCauses(view))
 	if out != "" {
@@ -139,15 +261,7 @@ func runReplay(scenarioName, in string, budget int) {
 	if in == "" {
 		fatal(fmt.Errorf("missing -in recording path"))
 	}
-	f, err := os.Open(in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	rec, err := debugdet.LoadRecording(f)
-	if err != nil {
-		fatal(err)
-	}
+	rec := loadRecording(in)
 	name := scenarioName
 	if name == "" {
 		name = rec.Scenario
@@ -163,6 +277,33 @@ func runReplay(scenarioName, in string, budget int) {
 		fmt.Printf("replayed run: outcome=%s failed=%v sig=%q causes=%v\n",
 			res.View.Result.Outcome, failed, sig, s.PresentCauses(res.View))
 	}
+}
+
+// runSeek jumps to an event and prints the machine state there: the
+// non-interactive face of time travel, and what the debug REPL's seek
+// does.
+func runSeek(scenarioName, in string, target uint64) {
+	if in == "" {
+		fatal(fmt.Errorf("missing -in recording path"))
+	}
+	rec := loadRecording(in)
+	name := scenarioName
+	if name == "" {
+		name = rec.Scenario
+	}
+	s := mustScenario(name)
+	sess, err := eng.Seek(context.Background(), s, rec, target, debugdet.ReplayOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	from := "start (no checkpoint ≤ target)"
+	if sess.FromCheckpoint {
+		from = fmt.Sprintf("checkpoint @%d", sess.SuffixFrom)
+	}
+	fmt.Printf("position %d/%d, restored from %s, replayed %d events\n",
+		sess.Pos(), rec.EventCount, from, sess.ReplaySteps)
+	printThreads(sess.Machine)
 }
 
 func runEval(scenarioName, modelName string, seed int64, budget int) {
@@ -189,17 +330,16 @@ func runShow(in string) {
 	if in == "" {
 		fatal(fmt.Errorf("missing -in recording path"))
 	}
-	f, err := os.Open(in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	rec, err := debugdet.LoadRecording(f)
-	if err != nil {
-		fatal(err)
-	}
+	rec := loadRecording(in)
 	fmt.Println(rec.Summary())
 	fmt.Printf("streams: %v\n", rec.Streams)
+	if n := len(rec.Checkpoints); n > 0 {
+		seqs := make([]uint64, n)
+		for i, cp := range rec.Checkpoints {
+			seqs[i] = cp.Seq
+		}
+		fmt.Printf("checkpoints: %d at %v (%d bytes)\n", n, seqs, rec.CheckpointBytes)
+	}
 	fmt.Printf("first events (of %d):\n", len(rec.Full))
 	for i, e := range rec.Full {
 		if i >= 20 {

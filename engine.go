@@ -163,6 +163,50 @@ func (e *Engine) Replay(ctx context.Context, s *Scenario, rec *Recording, o Repl
 	return res, nil
 }
 
+// Seek opens a replay positioned at the target event of a recording: the
+// nearest checkpoint at or before the target is restored and only the
+// remainder is re-executed, so seek latency on a checkpointed recording
+// is bounded by the checkpoint interval instead of the trace length.
+// Recordings without checkpoints (older files, or Options without
+// CheckpointInterval) fall back to replaying from the start. The session
+// must be finished with RunToEnd or released with Close. Seek requires a
+// perfect-model recording; see replay.ErrSeekUnsupported.
+func (e *Engine) Seek(ctx context.Context, s *Scenario, rec *Recording, target uint64, o ReplayOptions) (*SeekSession, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return replay.Seek(s, rec, target, o)
+}
+
+// ReplaySegmented validates a perfect recording by replaying its
+// checkpoint-delimited trace segments concurrently across the engine's
+// worker budget (o.Workers overrides). The result is deep-equal for every
+// worker count — the same sequential-equivalence contract as EvaluateBatch
+// — and reports the first event, if any, where the replay departs from the
+// recording.
+func (e *Engine) ReplaySegmented(ctx context.Context, s *Scenario, rec *Recording, o ReplayOptions) (*SegmentedResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if o.Workers == 0 {
+		o.Workers = e.effectiveWorkers()
+	}
+	return replay.Segmented(s, rec, o)
+}
+
+// Debug opens an interactive time-travel session over a perfect-model
+// recording: step forward, seek to any event, step backward, and inspect
+// thread, cell, lock, channel and stream state at the cursor — the API the
+// replaydbg debug REPL drives. Recordings without checkpoints get
+// in-memory ones materialized by a single full replay, so navigation is
+// fast either way. Close the session to release its replay machine.
+func (e *Engine) Debug(ctx context.Context, s *Scenario, rec *Recording, o DebugOptions) (*DebugSession, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return replay.NewDebugger(s, rec, o)
+}
+
 // Evaluate runs the full pipeline — record, replay, metrics — for one
 // scenario under one model. Cancelling ctx aborts at phase boundaries and
 // between inference candidates.

@@ -1,0 +1,14 @@
+// Package figures is the public experiment harness of the debugdet SDK:
+// it regenerates every figure and table of the paper's evaluation (see
+// DESIGN.md §3 for the experiment index) over the built-in corpus. Each
+// experiment returns structured rows and has a text renderer that prints
+// the series the paper plots.
+//
+// The types are aliases for the engine-internal harness, so rows flow to
+// external plotting tools unchanged. For ad-hoc grids over user-registered
+// scenarios use Engine.EvaluateBatch instead — this package exists for the
+// paper's fixed experiment set.
+//
+// Architecture: DESIGN.md §3 (experiment index) lists every figure and
+// table this package regenerates and the paper claims each one checks.
+package figures

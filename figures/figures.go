@@ -1,13 +1,3 @@
-// Package figures is the public experiment harness of the debugdet SDK:
-// it regenerates every figure and table of the paper's evaluation (see
-// DESIGN.md §3 for the experiment index) over the built-in corpus. Each
-// experiment returns structured rows and has a text renderer that prints
-// the series the paper plots.
-//
-// The types are aliases for the engine-internal harness, so rows flow to
-// external plotting tools unchanged. For ad-hoc grids over user-registered
-// scenarios use Engine.EvaluateBatch instead — this package exists for the
-// paper's fixed experiment set.
 package figures
 
 import (
@@ -92,3 +82,13 @@ func TableTriggers(o Options) ([]TrigRow, error) { return eval.TableTriggers(o) 
 
 // RenderTableTriggers prints T-TRIG.
 func RenderTableTriggers(rows []TrigRow) string { return eval.RenderTableTriggers(rows) }
+
+// CkptRow is one point of the checkpoint-interval trade-off (T-CKPT).
+type CkptRow = eval.CkptRow
+
+// TableCheckpoint measures the checkpoint-interval vs recording-size vs
+// seek-latency trade-off (T-CKPT).
+func TableCheckpoint(o Options) ([]CkptRow, error) { return eval.TableCheckpoint(o) }
+
+// RenderTableCheckpoint prints T-CKPT.
+func RenderTableCheckpoint(rows []CkptRow) string { return eval.RenderTableCheckpoint(rows) }

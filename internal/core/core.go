@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 
+	"debugdet/internal/checkpoint"
 	"debugdet/internal/invariant"
 	"debugdet/internal/metrics"
 	"debugdet/internal/plane"
@@ -75,6 +76,13 @@ type Options struct {
 	RCSE RCSEOptions
 	// MaxSteps bounds every execution (0 = VM default).
 	MaxSteps uint64
+	// CheckpointInterval captures a VM state snapshot into the recording
+	// every that many events (0 = off), enabling checkpointed seek and
+	// segmented parallel replay on the recording. Checkpoints need the
+	// complete event stream, so the interval only applies to the perfect
+	// model; other models ignore it. Capture work is charged to the
+	// recording overhead like any other recording work.
+	CheckpointInterval uint64
 	// Workers sets the replay-inference worker-pool size (0 =
 	// GOMAXPROCS, 1 = sequential). The evaluation result is identical
 	// for every worker count.
@@ -167,9 +175,25 @@ func RecordOnly(s *scenario.Scenario, model record.Model, o Options) (*record.Re
 		factory = record.FactoryFor(policy)
 	}
 
+	var ckpt *checkpoint.Writer
+	if o.CheckpointInterval > 0 && model == record.Perfect {
+		inner := factory
+		factory = func(m *vm.Machine) (record.Policy, []vm.Observer) {
+			policy, obs := inner(m)
+			ckpt = checkpoint.NewWriter(m, o.CheckpointInterval)
+			return policy, append(obs, ckpt)
+		}
+	}
+
 	rec, orig, err := record.RecordWithPolicy(s, model, factory, o.Seed, o.Params)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if ckpt != nil {
+		// The capture work already entered the machine's recording cycles
+		// (and hence rec.Overhead); attach the artifacts and their volume.
+		rec.Checkpoints = ckpt.Snapshots()
+		rec.CheckpointBytes = ckpt.Bytes()
 	}
 	return rec, orig, setup, nil
 }

@@ -37,6 +37,11 @@ type Options struct {
 	// cell's inner replay search stays sequential — the grid is the
 	// outer parallelism and already saturates the cores.
 	Workers int
+	// CheckpointInterval captures VM state snapshots into perfect-model
+	// recordings every that many events (0 = off), so the overhead tables
+	// can report the checkpoint volume and capture cost next to the log
+	// volume (T-OVH's checkpoint column; the T-CKPT sweep varies it).
+	CheckpointInterval uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +148,11 @@ type Cell struct {
 	DE       float64
 	DU       float64
 	Attempts int
+	// CkptCount and CkptBytes describe the checkpoints captured into the
+	// recording (zero unless the cell ran with a checkpoint interval —
+	// perfect model only).
+	CkptCount int
+	CkptBytes int64
 	// OrigCause and ReplayCause summarize the fidelity evidence.
 	OrigCause   string
 	ReplayCause string
@@ -158,6 +168,8 @@ func cellOf(ev *core.Evaluation) Cell {
 		DE:          ev.Utility.DE,
 		DU:          ev.Utility.DU,
 		Attempts:    ev.Replay.Attempts,
+		CkptCount:   len(ev.Recording.Checkpoints),
+		CkptBytes:   ev.Recording.CheckpointBytes,
 		OrigCause:   strings.Join(ev.Fidelity.OrigCauses, ","),
 		ReplayCause: strings.Join(ev.Fidelity.ReplayCauses, ","),
 	}
@@ -178,11 +190,12 @@ func runCell(s *scenario.Scenario, model record.Model, o Options) (Cell, error) 
 // so they can never drift apart.
 func runCellAt(s *scenario.Scenario, model record.Model, o Options, seed int64, params scenario.Params) (Cell, error) {
 	ev, err := core.Evaluate(s, model, core.Options{
-		Ctx:          o.Ctx,
-		Seed:         seed,
-		Params:       params,
-		ReplayBudget: o.ReplayBudget,
-		Workers:      1,
+		Ctx:                o.Ctx,
+		Seed:               seed,
+		Params:             params,
+		ReplayBudget:       o.ReplayBudget,
+		Workers:            1,
+		CheckpointInterval: o.CheckpointInterval,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -318,9 +331,15 @@ func TableOverhead(cells []Cell) string {
 	var b strings.Builder
 	b.WriteString("Table OVH — §4 recording overhead on the Hypertable bug\n")
 	b.WriteString("paper: value records all inputs and interleavings; RCSE records control-plane\n")
-	b.WriteString("data and the thread schedule; failure determinism records only the failure state\n\n")
+	b.WriteString("data and the thread schedule; failure determinism records only the failure state\n")
+	b.WriteString("(checkpoints column is non-zero when the run was recorded with a checkpoint\n")
+	b.WriteString("interval — perfect model only; see T-CKPT for the interval trade-off)\n\n")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%-12s overhead = %5.2fx  log = %8d bytes\n", c.Model, c.Overhead, c.LogBytes)
+		ckpt := "-"
+		if c.CkptCount > 0 {
+			ckpt = fmt.Sprintf("%d ckpts / %d bytes", c.CkptCount, c.CkptBytes)
+		}
+		fmt.Fprintf(&b, "%-12s overhead = %5.2fx  log = %8d bytes  ckpt = %s\n", c.Model, c.Overhead, c.LogBytes, ckpt)
 	}
 	return b.String()
 }

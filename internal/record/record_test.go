@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"debugdet/internal/checkpoint"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
 	"debugdet/internal/workload"
@@ -253,6 +254,93 @@ func TestEventsByThreadPreservesOrder(t *testing.T) {
 			if evs[i].Seq <= evs[i-1].Seq {
 				t.Fatalf("thread %d events out of order at %d", tid, i)
 			}
+		}
+	}
+}
+
+// recordCheckpointedBank is the shared fixture for the format-compat
+// tests: a perfect-model bank recording with checkpoints attached, the
+// way core.RecordOnly builds one for Options.CheckpointInterval.
+func recordCheckpointedBank(t *testing.T) *Recording {
+	t.Helper()
+	s, err := workload.ByName("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w *checkpoint.Writer
+	factory := func(m *vm.Machine) (Policy, []vm.Observer) {
+		w = checkpoint.NewWriter(m, 64)
+		return PolicyFor(Perfect), []vm.Observer{w}
+	}
+	rec, _, err := RecordWithPolicy(s, Perfect, factory, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Checkpoints = w.Snapshots()
+	rec.CheckpointBytes = w.Bytes()
+	return rec
+}
+
+// TestLoadLegacyV1 pins backward compatibility: a recording written by the
+// previous codec version (v1, before checkpoints existed) loads cleanly
+// with no checkpoints — seek then falls back to replay-from-start.
+func TestLoadLegacyV1(t *testing.T) {
+	rec := recordCheckpointedBank(t)
+	var buf bytes.Buffer
+	if err := rec.saveVersion(&buf, recVersionLegacy); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 recording failed to load: %v", err)
+	}
+	if len(loaded.Checkpoints) != 0 {
+		t.Fatalf("v1 recording loaded %d checkpoints", len(loaded.Checkpoints))
+	}
+	if loaded.Scenario != rec.Scenario || loaded.EventCount != rec.EventCount ||
+		len(loaded.Full) != len(rec.Full) || len(loaded.Sched) != len(rec.Sched) {
+		t.Fatalf("v1 load lost data: %s vs %s", loaded.Summary(), rec.Summary())
+	}
+}
+
+// TestCheckpointSaveLoadRoundTrip pins the v2 persistence of checkpoints:
+// snapshots survive save/load exactly, including the rehydrated stream
+// histories.
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	rec := recordCheckpointedBank(t)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CheckpointBytes != rec.CheckpointBytes {
+		t.Errorf("checkpoint bytes %d -> %d", rec.CheckpointBytes, loaded.CheckpointBytes)
+	}
+	if len(loaded.Checkpoints) != len(rec.Checkpoints) {
+		t.Fatalf("checkpoints %d -> %d", len(rec.Checkpoints), len(loaded.Checkpoints))
+	}
+	for i := range rec.Checkpoints {
+		if err := loaded.Checkpoints[i].EqualState(rec.Checkpoints[i]); err != nil {
+			t.Fatalf("checkpoint %d differs after round-trip: %v", i, err)
+		}
+	}
+}
+
+// TestLoadRejectsCheckpointTruncation extends the truncation contract to
+// the v2 checkpoint section: every strict prefix errors, never panics.
+func TestLoadRejectsCheckpointTruncation(t *testing.T) {
+	rec := recordCheckpointedBank(t)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", cut, len(full))
 		}
 	}
 }

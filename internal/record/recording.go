@@ -8,6 +8,7 @@ import (
 	"io"
 	"strings"
 
+	"debugdet/internal/checkpoint"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
@@ -41,6 +42,16 @@ type Recording struct {
 	// recorded input/output events to streams before rebuilding the
 	// machine.
 	Streams []string
+
+	// Checkpoints are the periodic VM state snapshots captured during the
+	// recorded run (Options.CheckpointInterval; perfect-model recordings
+	// only), in trace order. They power replay.Seek and replay.Segmented;
+	// recordings without them — including every v1 format file — replay
+	// front-to-back.
+	Checkpoints []*vm.Snapshot
+	// CheckpointBytes is the encoded volume of the checkpoints, kept
+	// separate from LogBytes so the overhead tables can attribute it.
+	CheckpointBytes int64
 
 	// LogBytes is the recorded volume; Overhead the measured runtime
 	// overhead ratio; BaseCycles/TotalCycles the run's virtual times;
@@ -129,22 +140,30 @@ func (r *Recording) Summary() string {
 
 // Recording file format: magic, version, then a trace.Log (header carries
 // scenario/model/params/labels; events are the Full stream), then the
-// schedule stream as varint-delta thread IDs.
+// schedule stream as varint-delta thread IDs, then (v2) the checkpoint
+// snapshot section. v1 files — written before checkpoints existed — load
+// cleanly with no checkpoints; Save always writes the current version.
 const (
-	recMagic   = "DDRC"
-	recVersion = 1
+	recMagic         = "DDRC"
+	recVersion       = 2
+	recVersionLegacy = 1
 )
 
 // ErrBadRecording reports a malformed recording file.
 var ErrBadRecording = errors.New("record: malformed recording")
 
-// Save writes the recording to w.
-func (r *Recording) Save(w io.Writer) error {
+// Save writes the recording to w in the current format version.
+func (r *Recording) Save(w io.Writer) error { return r.saveVersion(w, recVersion) }
+
+// saveVersion writes the recording in a specific format version. Only the
+// backward-compatibility tests write the legacy version; Save always
+// writes the current one.
+func (r *Recording) saveVersion(w io.Writer, ver byte) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(recMagic); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(recVersion); err != nil {
+	if err := bw.WriteByte(ver); err != nil {
 		return err
 	}
 	l := trace.NewLog(trace.Header{
@@ -161,6 +180,7 @@ func (r *Recording) Save(w io.Writer) error {
 			"base_cycles":   fmt.Sprintf("%d", r.BaseCycles),
 			"total_cycles":  fmt.Sprintf("%d", r.TotalCycles),
 			"event_count":   fmt.Sprintf("%d", r.EventCount),
+			"ckpt_bytes":    fmt.Sprintf("%d", r.CheckpointBytes),
 			"streams":       strings.Join(r.Streams, "\x1f"),
 		},
 	})
@@ -181,7 +201,14 @@ func (r *Recording) Save(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if ver < recVersion {
+		return nil
+	}
+	_, err := checkpoint.EncodeSnapshots(w, r.Checkpoints)
+	return err
 }
 
 // Load reads a recording written by Save.
@@ -195,7 +222,7 @@ func Load(rd io.Reader) (*Recording, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadRecording)
 	}
 	ver, err := br.ReadByte()
-	if err != nil || ver != recVersion {
+	if err != nil || (ver != recVersion && ver != recVersionLegacy) {
 		return nil, fmt.Errorf("%w: bad version", ErrBadRecording)
 	}
 	l, err := trace.Decode(br)
@@ -227,6 +254,7 @@ func Load(rd io.Reader) (*Recording, error) {
 	fmt.Sscanf(lab["base_cycles"], "%d", &r.BaseCycles)
 	fmt.Sscanf(lab["total_cycles"], "%d", &r.TotalCycles)
 	fmt.Sscanf(lab["event_count"], "%d", &r.EventCount)
+	fmt.Sscanf(lab["ckpt_bytes"], "%d", &r.CheckpointBytes)
 
 	nSched, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -245,6 +273,19 @@ func Load(rd io.Reader) (*Recording, error) {
 		}
 		prev += d
 		r.Sched = append(r.Sched, trace.ThreadID(prev))
+	}
+	if ver >= recVersion {
+		snaps, err := checkpoint.DecodeSnapshots(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRecording, err)
+		}
+		// The codec persists only the live-state portion of each snapshot;
+		// the per-stream histories are projections of the event prefix and
+		// are rebuilt from it here.
+		if err := checkpoint.RehydrateStreams(snaps, r.Full); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRecording, err)
+		}
+		r.Checkpoints = snaps
 	}
 	return r, nil
 }

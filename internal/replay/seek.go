@@ -1,0 +1,181 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+
+	"debugdet/internal/checkpoint"
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/vm"
+)
+
+// Checkpointed seek (DESIGN.md §5): position a replay at an arbitrary
+// event of a recording without re-executing the whole prefix. The nearest
+// checkpoint at or before the target is restored (vm.Restore: per-thread
+// feed replay plus state install — no scheduling), and only the remainder
+// — at most one checkpoint interval — is replayed under the forced
+// schedule. The suffix trace a seeked replay produces is bit-identical to
+// the corresponding slice of a full sequential replay; the seek
+// equivalence tests pin that for every corpus scenario.
+
+// ErrSeekUnsupported reports a recording that checkpointed seek cannot
+// operate on: seek needs the complete schedule and every event value,
+// which only perfect-determinism recordings persist.
+var ErrSeekUnsupported = errors.New("replay: seek requires a perfect recording with a complete schedule")
+
+// SeekSession is a replay positioned part-way through a recording. The
+// underlying machine is paused and inspectable (threads, cells, channels,
+// streams); Continue steps it forward, RunToEnd completes the execution
+// and Close abandons it. Sessions are not safe for concurrent use.
+type SeekSession struct {
+	s   *scenario.Scenario
+	rec *record.Recording
+
+	// Machine is the paused replay machine. Its trace collects events
+	// from SuffixFrom onward.
+	Machine *vm.Machine
+	// SuffixFrom is the sequence number of the first event the session's
+	// machine emits: the checkpoint it was restored from, or 0 when the
+	// session replayed from the start.
+	SuffixFrom uint64
+	// FromCheckpoint reports whether a checkpoint was used.
+	FromCheckpoint bool
+	// ReplaySteps counts the scheduled events executed by this session so
+	// far — the seek-latency denominator checkpoints shrink.
+	ReplaySteps uint64
+
+	view *scenario.RunView
+	ok   bool
+}
+
+// replayConfig assembles the machine configuration every replay machine
+// of a perfect recording shares, with the schedule stream positioned at
+// schedFrom. inputs may be a shared, pre-built source (segmented replay
+// restores many machines of one recording; the recorded-input map is
+// immutable and safe to share) or nil to build one.
+func replayConfig(s *scenario.Scenario, rec *record.Recording, o Options, schedFrom uint64, inputs vm.InputSource) (vm.Config, func(*vm.Machine) func(*vm.Thread)) {
+	p := s.DefaultParams.Clone(rec.Params)
+	sched := rec.Sched
+	if schedFrom < uint64(len(sched)) {
+		sched = sched[schedFrom:]
+	} else {
+		sched = nil
+	}
+	if inputs == nil {
+		inputs = recordedInputs(rec)
+	}
+	cfg := vm.Config{
+		Seed:         rec.Seed,
+		Scheduler:    vm.NewReplayScheduler(sched),
+		Inputs:       inputs,
+		MaxSteps:     o.MaxSteps,
+		CollectTrace: true,
+		RelaxTime:    true,
+	}
+	setup := func(m *vm.Machine) func(*vm.Thread) {
+		return s.Build(m, p)
+	}
+	return cfg, setup
+}
+
+// recordedInputs builds the forced input source of a perfect recording.
+func recordedInputs(rec *record.Recording) vm.InputSource {
+	return &vm.MapInputs{Values: rec.InputsByStream(), Base: vm.ZeroInputs}
+}
+
+// Seek opens a session positioned at target: the execution state is that
+// of the recorded run after target events, reached from the nearest
+// checkpoint at or before target. A recording without a usable checkpoint
+// (none captured, or none early enough) falls back to replaying from the
+// start — same session, full-prefix cost. Targets beyond the end of the
+// recording position at the end.
+func Seek(s *scenario.Scenario, rec *record.Recording, target uint64, o Options) (*SeekSession, error) {
+	return seek(s, rec, target, o, nil, nil)
+}
+
+// seek implements Seek; inputs and plan may be shared pre-built state
+// (see Segmented) or nil.
+func seek(s *scenario.Scenario, rec *record.Recording, target uint64, o Options, inputs vm.InputSource, plan *checkpoint.FeedPlan) (*SeekSession, error) {
+	if rec.Model != record.Perfect || !rec.SchedComplete {
+		return nil, ErrSeekUnsupported
+	}
+	sess := &SeekSession{s: s, rec: rec}
+	if cp := checkpoint.Best(rec.Checkpoints, target); cp != nil {
+		var feeds [][]vm.FeedEntry
+		var err error
+		if plan != nil {
+			feeds, err = plan.At(cp)
+		} else {
+			feeds, err = checkpoint.Feeds(rec.Full, cp.Seq, len(cp.Threads))
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg, setup := replayConfig(s, rec, o, cp.SchedPos, inputs)
+		m, err := vm.Restore(cfg, setup, cp, feeds)
+		if err != nil {
+			return nil, fmt.Errorf("replay: seek restore at %d: %w", cp.Seq, err)
+		}
+		sess.Machine = m
+		sess.SuffixFrom = cp.Seq
+		sess.FromCheckpoint = true
+	} else {
+		cfg, setup := replayConfig(s, rec, o, 0, inputs)
+		m := vm.New(cfg)
+		main := setup(m)
+		m.Start(main)
+		sess.Machine = m
+	}
+	sess.Continue(target)
+	return sess, nil
+}
+
+// Pos returns the session's position: events applied so far.
+func (k *SeekSession) Pos() uint64 { return k.Machine.Seq() }
+
+// Done reports whether the replayed execution has completed.
+func (k *SeekSession) Done() bool { return k.Machine.Completed() }
+
+// Continue advances the session to the given event number (no-op when the
+// session is already there or past it) and reports whether the execution
+// completed.
+func (k *SeekSession) Continue(to uint64) bool {
+	if k.view != nil {
+		return true
+	}
+	before := k.Machine.Seq()
+	if to <= before {
+		return k.Machine.Completed()
+	}
+	done := k.Machine.Continue(to)
+	k.ReplaySteps += k.Machine.Seq() - before
+	return done
+}
+
+// RunToEnd completes the replay and returns the finished view. The view's
+// trace holds the suffix events from SuffixFrom onward; its outputs,
+// inputs-used and final state describe the whole execution (prefix state
+// came from the checkpoint). ok reports the replay's acceptance condition:
+// no divergence, and the recording's failure identity reproduced.
+func (k *SeekSession) RunToEnd() (view *scenario.RunView, ok bool) {
+	if k.view != nil {
+		return k.view, k.ok
+	}
+	before := k.Machine.Seq()
+	k.Machine.Continue(0)
+	k.ReplaySteps += k.Machine.Seq() - before
+	res := k.Machine.Finish()
+	k.view = &scenario.RunView{Machine: k.Machine, Result: res, Trace: res.Trace}
+	k.ok = res.Outcome != vm.OutcomeDiverged && replayMatchesTerminal(k.s, k.rec, k.view)
+	return k.view, k.ok
+}
+
+// Close abandons the session, releasing the machine's threads. It is safe
+// to call after RunToEnd (a no-op) and must be called otherwise.
+func (k *SeekSession) Close() {
+	if k.view == nil {
+		res := k.Machine.Finish()
+		k.view = &scenario.RunView{Machine: k.Machine, Result: res, Trace: res.Trace}
+	}
+}

@@ -1,0 +1,312 @@
+package replay
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"debugdet/internal/checkpoint"
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/vm"
+	"debugdet/internal/workload"
+)
+
+// recordCheckpointed records one perfect-model run with checkpoints every
+// interval events (what core.RecordOnly does for CheckpointInterval).
+func recordCheckpointed(t testing.TB, s *scenario.Scenario, interval uint64) *record.Recording {
+	t.Helper()
+	var w *checkpoint.Writer
+	factory := func(m *vm.Machine) (record.Policy, []vm.Observer) {
+		w = checkpoint.NewWriter(m, interval)
+		return record.PolicyFor(record.Perfect), []vm.Observer{w}
+	}
+	rec, _, err := record.RecordWithPolicy(s, record.Perfect, factory, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatalf("%s: record: %v", s.Name, err)
+	}
+	rec.Checkpoints = w.Snapshots()
+	rec.CheckpointBytes = w.Bytes()
+	return rec
+}
+
+// checkpointedCorpusRecording records the scenario with an interval
+// adapted to its trace length, so short scenarios still get checkpoints
+// and long ones get a handful.
+func checkpointedCorpusRecording(t testing.TB, s *scenario.Scenario) *record.Recording {
+	t.Helper()
+	plain, _, err := record.Record(s, record.Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatalf("%s: record: %v", s.Name, err)
+	}
+	interval := plain.EventCount / 6
+	if interval < 4 {
+		interval = 4
+	}
+	return recordCheckpointed(t, s, interval)
+}
+
+// TestSeekEquivalence is the seek acceptance test: for every corpus
+// scenario, a replay resumed from each checkpoint produces a suffix trace
+// logically identical (EventsMatch: every field but virtual time) to the
+// corresponding slice of a full sequential replay, and restoring a
+// checkpoint reproduces its snapshotted machine state exactly.
+func TestSeekEquivalence(t *testing.T) {
+	for _, s := range workload.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			rec := checkpointedCorpusRecording(t, s)
+			if len(rec.Checkpoints) == 0 {
+				t.Fatalf("no checkpoints captured over %d events", rec.EventCount)
+			}
+
+			full := replayPerfect(s, rec, Options{})
+			if !full.Ok {
+				t.Fatalf("sequential replay not ok: %s", full.Note)
+			}
+			ref := full.View.Trace.Events
+
+			for _, cp := range rec.Checkpoints {
+				sess, err := Seek(s, rec, cp.Seq, Options{})
+				if err != nil {
+					t.Fatalf("seek %d: %v", cp.Seq, err)
+				}
+				if !sess.FromCheckpoint || sess.SuffixFrom != cp.Seq {
+					t.Fatalf("seek %d: restored from %d (checkpoint=%v)", cp.Seq, sess.SuffixFrom, sess.FromCheckpoint)
+				}
+				// The restored machine must be in exactly the snapshotted
+				// state before a single suffix event runs.
+				got := sess.Machine.Snapshot(vm.NoRunningThread)
+				if err := got.EqualState(cp); err != nil {
+					t.Fatalf("seek %d: restored state differs: %v", cp.Seq, err)
+				}
+				view, ok := sess.RunToEnd()
+				if !ok {
+					t.Fatalf("seek %d: suffix replay not ok (outcome %s)", cp.Seq, view.Result.Outcome)
+				}
+				suffix := view.Trace.Events
+				want := ref[cp.Seq:]
+				if len(suffix) != len(want) {
+					t.Fatalf("seek %d: suffix has %d events, full replay suffix %d", cp.Seq, len(suffix), len(want))
+				}
+				for i := range suffix {
+					if !EventsMatch(&suffix[i], &want[i]) {
+						t.Fatalf("seek %d: event %d differs:\nseek %v\nfull %v", cp.Seq, suffix[i].Seq, suffix[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeekFallback pins the compatibility contract: a recording without
+// checkpoints (a v1-format file, or checkpointing off) still seeks — by
+// replaying from the start — and produces the same suffix.
+func TestSeekFallback(t *testing.T) {
+	s, err := workload.ByName("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := record.Record(s, record.Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Checkpoints) != 0 {
+		t.Fatalf("plain recording has %d checkpoints", len(rec.Checkpoints))
+	}
+	target := rec.EventCount / 2
+	sess, err := Seek(s, rec, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.FromCheckpoint || sess.SuffixFrom != 0 {
+		t.Fatalf("fallback seek used a checkpoint: from=%d", sess.SuffixFrom)
+	}
+	if sess.Pos() != target {
+		t.Fatalf("fallback seek at %d, want %d", sess.Pos(), target)
+	}
+	if sess.ReplaySteps != target {
+		t.Fatalf("fallback replayed %d events, want %d", sess.ReplaySteps, target)
+	}
+	if _, ok := sess.RunToEnd(); !ok {
+		t.Fatal("fallback seek replay not ok")
+	}
+}
+
+// TestSeekUnsupportedModels pins the gate: seek, segmented replay and the
+// debugger refuse recordings that lack the complete event stream.
+func TestSeekUnsupportedModels(t *testing.T) {
+	s, err := workload.ByName("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []record.Model{record.Value, record.Output, record.Failure} {
+		rec, _, err := record.Record(s, model, s.DefaultSeed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Seek(s, rec, 0, Options{}); err == nil {
+			t.Errorf("%s: seek accepted an incomplete recording", model)
+		}
+		if _, err := Segmented(s, rec, Options{}); err == nil {
+			t.Errorf("%s: segmented replay accepted an incomplete recording", model)
+		}
+		if _, err := NewDebugger(s, rec, DebugOptions{}); err == nil {
+			t.Errorf("%s: debugger accepted an incomplete recording", model)
+		}
+	}
+}
+
+// segmentedFingerprint reduces a segmented result to the fields the
+// sequential-equivalence contract pins.
+type segmentedFingerprint struct {
+	Ok        bool
+	Segments  int
+	Mismatch  int64
+	WorkSteps uint64
+	Events    int
+	Outcome   vm.Outcome
+	Steps     uint64
+	Outputs   map[string][]int64
+}
+
+func fingerprint(res *SegmentedResult) segmentedFingerprint {
+	fp := segmentedFingerprint{
+		Ok:        res.Ok,
+		Segments:  res.Segments,
+		Mismatch:  res.Mismatch,
+		WorkSteps: res.WorkSteps,
+		Events:    len(res.View.Trace.Events),
+		Outcome:   res.View.Result.Outcome,
+		Steps:     res.View.Result.Steps,
+		Outputs:   map[string][]int64{},
+	}
+	for name, vals := range res.View.Result.Outputs {
+		for _, v := range vals {
+			fp.Outputs[name] = append(fp.Outputs[name], v.AsInt())
+		}
+	}
+	return fp
+}
+
+// TestSegmentedEquivalence is the segmented-replay acceptance test: on
+// every corpus scenario the parallel segment validation succeeds, matches
+// the sequential replay trace, and is deep-equal across worker counts
+// (1, 4, GOMAXPROCS).
+func TestSegmentedEquivalence(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, s := range workload.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			rec := checkpointedCorpusRecording(t, s)
+			full := replayPerfect(s, rec, Options{})
+			if !full.Ok {
+				t.Fatalf("sequential replay not ok: %s", full.Note)
+			}
+
+			var first *segmentedFingerprint
+			for _, workers := range workerCounts {
+				res, err := Segmented(s, rec, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !res.Ok {
+					t.Fatalf("workers=%d: segmented replay not ok (mismatch at %d)", workers, res.Mismatch)
+				}
+				wantSegs := 1
+				for _, cp := range rec.Checkpoints {
+					if cp.Seq > 0 && cp.Seq < uint64(len(rec.Full)) {
+						wantSegs++
+					}
+				}
+				if res.Segments != wantSegs {
+					t.Fatalf("workers=%d: %d segments, want %d", workers, res.Segments, wantSegs)
+				}
+				// The stitched trace must match the sequential replay
+				// event for event.
+				if len(res.View.Trace.Events) != len(full.View.Trace.Events) {
+					t.Fatalf("workers=%d: stitched %d events, sequential %d",
+						workers, len(res.View.Trace.Events), len(full.View.Trace.Events))
+				}
+				for i := range res.View.Trace.Events {
+					if !EventsMatch(&res.View.Trace.Events[i], &full.View.Trace.Events[i]) {
+						t.Fatalf("workers=%d: stitched event %d differs", workers, i)
+					}
+				}
+				fp := fingerprint(res)
+				if first == nil {
+					first = &fp
+				} else if !reflect.DeepEqual(*first, fp) {
+					t.Fatalf("workers=%d: result differs from workers=%d:\n%+v\n%+v",
+						workers, workerCounts[0], fp, *first)
+				}
+			}
+		})
+	}
+}
+
+// TestDebuggerNavigation drives the time-travel session over a recording:
+// step, seek, back, inspection and checkpoint materialization for
+// checkpoint-free recordings.
+func TestDebuggerNavigation(t *testing.T) {
+	s, err := workload.ByName("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint-free recording: the debugger must materialize its own.
+	rec, _, err := record.Record(s, record.Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDebugger(s, rec, DebugOptions{Interval: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(d.Checkpoints()) == 0 {
+		t.Fatal("debugger materialized no checkpoints")
+	}
+	if d.Pos() != 0 {
+		t.Fatalf("opened at %d, want 0", d.Pos())
+	}
+	if err := d.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pos() != 10 {
+		t.Fatalf("pos=%d after step 10", d.Pos())
+	}
+	mid := d.Len() / 2
+	if err := d.SeekTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pos() != mid {
+		t.Fatalf("pos=%d after seek %d", d.Pos(), mid)
+	}
+	threads := d.Machine().Threads()
+	if len(threads) == 0 {
+		t.Fatal("no threads visible at cursor")
+	}
+	ev, ok := d.Event()
+	if !ok || ev.Seq != mid {
+		t.Fatalf("event at cursor = %v ok=%v, want seq %d", ev, ok, mid)
+	}
+	if err := d.Back(7); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pos() != mid-7 {
+		t.Fatalf("pos=%d after back 7 from %d", d.Pos(), mid)
+	}
+	// Determinism check across travel: the event stream at the cursor is
+	// the recorded one.
+	if evs := d.Events(d.Pos(), d.Pos()+3); len(evs) != 3 || evs[0].Seq != d.Pos() {
+		t.Fatalf("events window wrong: %v", evs)
+	}
+	if err := d.SeekTo(d.Len()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done() {
+		t.Fatal("not done at end of recording")
+	}
+}

@@ -1,0 +1,191 @@
+package replay
+
+import (
+	"fmt"
+
+	"debugdet/internal/checkpoint"
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// Debugger is an interactive time-travel session over one recording: a
+// cursor into the recorded execution that can step forward, seek to an
+// arbitrary event, step backward (seek re-executes from the nearest
+// checkpoint, so "back" is cheap), and inspect the machine state at the
+// cursor — threads, cells, locks, channels, streams.
+//
+// Recordings that carry checkpoints use them directly; recordings without
+// (older files, or runs recorded with checkpointing off) get in-memory
+// checkpoints materialized by one initial full replay, so interactive
+// navigation is fast either way. Only perfect-model recordings are
+// debuggable: time travel needs the complete event stream.
+//
+// A Debugger is not safe for concurrent use. Close it to release the
+// current replay machine.
+type Debugger struct {
+	s   *scenario.Scenario
+	rec *record.Recording
+	o   Options
+
+	cps  []*vm.Snapshot
+	sess *SeekSession
+	end  uint64
+}
+
+// DebugOptions configures a debug session.
+type DebugOptions struct {
+	// Interval is the event interval for materializing checkpoints when
+	// the recording has none (0 = checkpoint.DefaultInterval).
+	Interval uint64
+	// MaxSteps bounds each replayed execution (0 = VM default).
+	MaxSteps uint64
+	// Workers bounds nothing today; reserved so the session surface can
+	// parallelize materialization without an API change.
+	Workers int
+}
+
+// NewDebugger opens a time-travel session positioned at event 0.
+func NewDebugger(s *scenario.Scenario, rec *record.Recording, o DebugOptions) (*Debugger, error) {
+	if rec.Model != record.Perfect || !rec.SchedComplete {
+		return nil, ErrSeekUnsupported
+	}
+	d := &Debugger{
+		s:   s,
+		rec: rec,
+		o:   Options{MaxSteps: o.MaxSteps},
+		cps: rec.Checkpoints,
+		end: uint64(len(rec.Full)),
+	}
+	if len(d.cps) == 0 {
+		// Materialize checkpoints with one full replay: attach a writer
+		// to a replay machine and drive it to completion.
+		cfg, setup := replayConfig(s, rec, d.o, 0, nil)
+		m := vm.New(cfg)
+		main := setup(m)
+		w := checkpoint.NewWriter(m, o.Interval)
+		m.Attach(w)
+		m.Start(main)
+		m.Continue(0)
+		res := m.Finish()
+		if res.Outcome == vm.OutcomeDiverged {
+			return nil, fmt.Errorf("replay: debug: recording diverges at %d", res.DivergedAt)
+		}
+		d.cps = w.Snapshots()
+	}
+	if err := d.SeekTo(0); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Pos returns the cursor: events applied so far.
+func (d *Debugger) Pos() uint64 { return d.sess.Pos() }
+
+// Len returns the recording's event count.
+func (d *Debugger) Len() uint64 { return d.end }
+
+// Done reports whether the cursor is at the end of the execution.
+func (d *Debugger) Done() bool { return d.Pos() >= d.end || d.sess.Done() }
+
+// Machine exposes the paused replay machine at the cursor for state
+// inspection (cells, channels, threads, stream names).
+func (d *Debugger) Machine() *vm.Machine { return d.sess.Machine }
+
+// Step advances the cursor by n events (clamped to the end of the
+// recording).
+func (d *Debugger) Step(n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	return d.SeekTo(d.Pos() + n)
+}
+
+// Back moves the cursor n events backward (clamped to 0), re-executing
+// from the nearest checkpoint.
+func (d *Debugger) Back(n uint64) error {
+	pos := d.Pos()
+	if n > pos {
+		n = pos
+	}
+	return d.SeekTo(pos - n)
+}
+
+// SeekTo positions the cursor at the given event. Seeking backward
+// replaces the replay machine (restoring from the nearest checkpoint);
+// seeking forward advances the current one — unless a checkpoint lies
+// between the cursor and the target, in which case restoring it is
+// cheaper than replaying the distance.
+func (d *Debugger) SeekTo(target uint64) error {
+	if target > d.end {
+		target = d.end
+	}
+	if d.sess != nil && target >= d.sess.Pos() {
+		if cp := checkpoint.Best(d.cps, target); cp == nil || cp.Seq <= d.sess.Pos() {
+			d.sess.Continue(target)
+			return nil
+		}
+	}
+	if d.sess != nil {
+		d.sess.Close()
+		d.sess = nil
+	}
+	rec := d.rec
+	if len(rec.Checkpoints) == 0 && len(d.cps) > 0 {
+		// Use the materialized checkpoints without mutating the caller's
+		// recording.
+		clone := *rec
+		clone.Checkpoints = d.cps
+		rec = &clone
+	}
+	sess, err := Seek(d.s, rec, target, d.o)
+	if err != nil {
+		return err
+	}
+	d.sess = sess
+	return nil
+}
+
+// Event returns the recorded event at the cursor (the next event to
+// execute), or false at the end of the recording.
+func (d *Debugger) Event() (trace.Event, bool) {
+	pos := d.Pos()
+	if pos >= uint64(len(d.rec.Full)) {
+		return trace.Event{}, false
+	}
+	return d.rec.Full[pos], true
+}
+
+// Events returns the recorded events in [lo, hi), clamped to the
+// recording.
+func (d *Debugger) Events(lo, hi uint64) []trace.Event {
+	n := uint64(len(d.rec.Full))
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return nil
+	}
+	return d.rec.Full[lo:hi]
+}
+
+// Checkpoints returns the checkpoint positions available to this session.
+func (d *Debugger) Checkpoints() []uint64 {
+	out := make([]uint64, len(d.cps))
+	for i, cp := range d.cps {
+		out[i] = cp.Seq
+	}
+	return out
+}
+
+// Close releases the session's replay machine.
+func (d *Debugger) Close() {
+	if d.sess != nil {
+		d.sess.Close()
+		d.sess = nil
+	}
+}

@@ -265,6 +265,13 @@ func EncodedSize(l *Log) int64 {
 	return n
 }
 
+// WriteValue writes one value in the binary format. It is shared with the
+// checkpoint codec, which embeds values in snapshot sections.
+func WriteValue(w *bufio.Writer, v Value) { writeValue(w, v) }
+
+// ReadValue reads one value written by WriteValue.
+func ReadValue(r *bufio.Reader) (Value, error) { return readValue(r) }
+
 func writeValue(w *bufio.Writer, v Value) {
 	w.WriteByte(byte(v.Kind))
 	switch v.Kind {

@@ -162,8 +162,14 @@ type Machine struct {
 	picked      *Thread
 	pickedValid bool
 
-	running  bool
-	stopped  bool
+	running   bool
+	stopped   bool
+	completed bool
+	finished  bool
+	// pauseAt makes the scheduling loop return to its driver once seq
+	// reaches it (0 = run to completion). Both the machine loop and the
+	// inline fast path honour it; see Continue.
+	pauseAt  uint64
 	outcome  Outcome
 	terminal trace.Event
 	diverged uint64
@@ -230,6 +236,11 @@ func (m *Machine) Seq() uint64 { return m.seq }
 // Seed returns the configured scheduler seed.
 func (m *Machine) Seed() int64 { return m.cfg.Seed }
 
+// Trace returns the oracle trace collected so far (nil when
+// Config.CollectTrace is false). Read it only while the machine is paused
+// or finished.
+func (m *Machine) Trace() *trace.Log { return m.tr }
+
 // Attach registers an observer. Observers run in attach order on every
 // event.
 func (m *Machine) Attach(o Observer) { m.observers = append(m.observers, o) }
@@ -242,17 +253,56 @@ func (m *Machine) checkSetup(op string) {
 
 // Run executes main as thread 0 and drives scheduling until all threads
 // exit or a terminal event stops the machine. It must be called exactly
-// once.
+// once (and not combined with Start).
 func (m *Machine) Run(main func(*Thread)) *Result {
+	m.Start(main)
+	m.loop()
+	return m.Finish()
+}
+
+// Start begins a pausable execution: thread 0 is launched and parked at
+// its first operation, but no events are applied. Drive the execution with
+// Continue and end it with Finish. Run is equivalent to Start, one
+// Continue(0), Finish.
+func (m *Machine) Start(main func(*Thread)) {
 	if m.running {
-		panic("vm: Run called twice")
+		panic("vm: Start/Run called twice")
 	}
 	m.running = true
-
 	root := m.newThread("main", main)
 	m.startThread(root)
+}
 
+// Continue resumes a started (or restored) execution until the number of
+// applied events reaches stopAt, then pauses with every thread parked at a
+// scheduling point. stopAt == 0 means no limit: run to completion. It
+// reports whether the execution is over — further Continues are no-ops
+// once it returns true. A paused machine is quiescent and safe to inspect
+// (Snapshot, Threads, CellValue, ...).
+func (m *Machine) Continue(stopAt uint64) bool {
+	if !m.running {
+		panic("vm: Continue before Start")
+	}
+	if m.completed || m.finished {
+		return true
+	}
+	m.pauseAt = stopAt
+	m.loop()
+	m.pauseAt = 0
+	return m.completed
+}
+
+// Completed reports whether the execution is over (all threads exited or a
+// terminal event stopped the machine).
+func (m *Machine) Completed() bool { return m.completed }
+
+// loop drives scheduling rounds until the execution completes or pauseAt
+// is reached.
+func (m *Machine) loop() {
 	for !m.stopped {
+		if m.pauseAt > 0 && m.seq >= m.pauseAt {
+			return
+		}
 		// A thread running inline may already have taken this round's
 		// scheduling decision before handing the baton back; consume it
 		// instead of consulting the scheduler twice.
@@ -272,6 +322,18 @@ func (m *Machine) Run(main func(*Thread)) *Result {
 		}
 		m.resume(t)
 	}
+	m.completed = true
+}
+
+// Finish ends the execution — releasing every parked thread, including
+// daemons — and builds the Result. Finishing a paused execution abandons
+// it: the outcome of an abandoned run is OutcomeAborted unless a terminal
+// event already stopped the machine. Finish may be called once.
+func (m *Machine) Finish() *Result {
+	if m.finished {
+		panic("vm: Finish called twice")
+	}
+	m.finished = true
 	m.releaseAll()
 
 	res := &Result{
@@ -526,9 +588,9 @@ func (m *Machine) stop(oc Outcome, term trace.Event) {
 func (m *Machine) releaseAll() {
 	m.stopped = true
 	if m.outcome == OutcomeOK && m.liveNonDaemon > 0 {
-		// Stopped with live non-daemon threads but OK outcome cannot
-		// happen via stop(); defensive. Live daemons at completion are
-		// normal (network pumps, server loops).
+		// Live non-daemon threads with an OK outcome means the run was
+		// abandoned mid-execution (Finish on a paused machine). Live
+		// daemons at completion are normal (network pumps, server loops).
 		m.outcome = OutcomeAborted
 	}
 	for _, t := range m.threads {

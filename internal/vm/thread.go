@@ -68,6 +68,13 @@ type Thread struct {
 	result   trace.Value
 	resultOK bool
 
+	// feed puts the thread in restore mode: operations return the recorded
+	// outcomes in feed order instead of engaging the scheduler, until the
+	// feed is exhausted and the thread parks at its first live operation.
+	// See vm.Restore.
+	feed    []FeedEntry
+	feedPos int
+
 	taint trace.Taint
 
 	daemon bool
@@ -119,9 +126,33 @@ func (t *Thread) AddTaint(x trace.Taint) { t.taint |= x }
 // need the machine goroutine to supervise the handoff), or when the
 // machine stopped during an inline apply (releaseAll unwinds us).
 func (t *Thread) syscall(req opReq) trace.Value {
-	t.pending = req
 	m := t.m
-	if m.inlineOwner == t && inlineEligible(req.code) {
+	if t.feed != nil {
+		// Restore mode: the operation's outcome comes from the recorded
+		// prefix; no scheduling, no event, no shared-state effect. The
+		// kind check turns a mismatched feed (corrupted recording, or a
+		// body whose locals depend on something outside the operation
+		// results) into a restore error instead of silent divergence.
+		if t.feedPos < len(t.feed) {
+			fe := t.feed[t.feedPos]
+			if !feedCompatible(req.code, fe.Kind) {
+				t.parkRestoreError(fmt.Sprintf("restore divergence: op %s, feed has %s event",
+					OpName(uint8(req.code)), fe.Kind))
+			}
+			t.feedPos++
+			if req.code == opSpawn {
+				if err := m.restoreSpawn(&req, fe); err != nil {
+					t.parkRestoreError(err.Error())
+				}
+			}
+			t.taint |= fe.Taint
+			t.result, t.resultOK = fe.Val, fe.OK
+			return t.result
+		}
+		t.feed = nil // exhausted: park below at the first live operation
+	}
+	t.pending = req
+	if m.inlineOwner == t && inlineEligible(req.code) && !(m.pauseAt > 0 && m.seq >= m.pauseAt) {
 		if next := m.pickNext(); next == t {
 			m.applyOp(t)
 			m.checkStepLimit()
@@ -140,6 +171,16 @@ func (t *Thread) syscall(req opReq) trace.Value {
 		panic(errMachineStopped)
 	}
 	return t.result
+}
+
+// parkRestoreError aborts a feed replay from the thread's own goroutine:
+// it parks with an opPanic pending op carrying the message, which the
+// restore driver reports as the restore error, and unwinds once resumed.
+func (t *Thread) parkRestoreError(msg string) {
+	t.pending = opReq{code: opPanic, msg: msg}
+	t.m.yieldCh <- t
+	<-t.resumeCh
+	panic(errMachineStopped)
 }
 
 // inlineEligible reports whether an op may be applied on the issuing

@@ -27,6 +27,9 @@ func normalizeRecording(r *debugdet.Recording) *debugdet.Recording {
 	if len(c.Streams) == 0 {
 		c.Streams = nil
 	}
+	if len(c.Checkpoints) == 0 {
+		c.Checkpoints = nil
+	}
 	return &c
 }
 
@@ -106,5 +109,62 @@ func TestRecordingTruncatedStream(t *testing.T) {
 				}
 			}()
 		}
+	}
+}
+
+// TestCheckpointedRecordingRoundTripSeek drives the persistence → time
+// travel pipeline end to end through the public SDK: record with
+// checkpoints, save, load, then seek the loaded recording — state
+// inspection and suffix replay must work on what came off disk, and a
+// target before the first checkpoint must fall back to replay-from-start.
+func TestCheckpointedRecordingRoundTripSeek(t *testing.T) {
+	eng := debugdet.New()
+	ctx := context.Background()
+	s, err := eng.ByName("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := eng.Record(ctx, s, debugdet.Perfect, debugdet.Options{CheckpointInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Checkpoints) == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	var buf bytes.Buffer
+	if err := debugdet.SaveRecording(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := debugdet.LoadRecording(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Checkpoints) != len(rec.Checkpoints) {
+		t.Fatalf("checkpoints %d -> %d across save/load", len(rec.Checkpoints), len(loaded.Checkpoints))
+	}
+
+	target := loaded.EventCount * 3 / 4
+	sess, err := eng.Seek(ctx, s, loaded, target, debugdet.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.FromCheckpoint {
+		t.Error("seek on a checkpointed recording did not use a checkpoint")
+	}
+	if sess.Pos() != target {
+		t.Errorf("seek landed at %d, want %d", sess.Pos(), target)
+	}
+	if view, ok := sess.RunToEnd(); !ok {
+		t.Errorf("suffix replay from loaded recording not ok (outcome %s)", view.Result.Outcome)
+	}
+
+	// A target before the first checkpoint replays from the start.
+	early, err := eng.Seek(ctx, s, loaded, 10, debugdet.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer early.Close()
+	if early.FromCheckpoint {
+		t.Error("seek before the first checkpoint claimed to use one")
 	}
 }

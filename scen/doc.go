@@ -1,0 +1,20 @@
+// Package scen is the public workload contract of the debugdet SDK: how a
+// buggy program, its environment, its failure specification and its
+// possible root causes are described to the record/replay machinery.
+//
+// The definitions follow §3 of the paper. A failure is a violation of the
+// program's I/O specification, expressed as a predicate over a finished
+// run that also yields a failure signature; a root cause is the negation
+// of the predicate a fix would enforce. A user-authored Scenario is built
+// against the debugdet/sim machine API, registered on an engine's
+// Registry, and from then on is indistinguishable from the built-in
+// corpus: every determinism model can record, replay and evaluate it.
+//
+// The contract types are aliases for the engine-internal definitions, so
+// promoting a scenario from an application repo into this corpus (or vice
+// versa) is a re-import, not a rewrite.
+//
+// Architecture: DESIGN.md §0 (SDK layering) places this contract in the
+// stack; DESIGN.md §4 (the scenario corpus) describes the built-in
+// scenarios written against it.
+package scen

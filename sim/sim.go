@@ -1,17 +1,3 @@
-// Package sim is the public workload-programming surface of the debugdet
-// SDK: the deterministic virtual machine its scenarios run on.
-//
-// Programs are written against the Thread API — cells, mutexes, channels,
-// input/output streams — and every shared-state operation is interposed by
-// the machine, so executions are bit-reproducible from a seed: the
-// property recorders and replayers need and a native Go scheduler cannot
-// provide. The companion types in debugdet/scen describe a program plus
-// its failure specification as a Scenario; debugdet/trace carries the
-// event model.
-//
-// Every type is an alias for the engine-internal definition, so
-// user-authored workloads interoperate with the built-in corpus and the
-// record/replay engines without conversion.
 package sim
 
 import (
@@ -130,3 +116,39 @@ func DefaultCostModel() CostModel { return vm.DefaultCostModel() }
 // PendingOp describes the operation a thread will perform at its next
 // scheduling point (for schedule-aware analyses).
 type PendingOp = vm.PendingOp
+
+// Snapshot machinery (time-travel replay; see DESIGN.md §5). Snapshots are
+// deterministic captures of machine state at an event boundary: the
+// substrate of checkpointed seek (Engine.Seek), segmented parallel replay
+// (Engine.ReplaySegmented) and the interactive debugger (Engine.Debug).
+type (
+	// Snapshot is one deterministic VM state capture.
+	Snapshot = vm.Snapshot
+	// ThreadSnap is a snapshotted thread's metadata.
+	ThreadSnap = vm.ThreadSnap
+	// SlotSnap is a snapshotted value with its provenance.
+	SlotSnap = vm.SlotSnap
+	// ChanSnap is a snapshotted channel buffer.
+	ChanSnap = vm.ChanSnap
+	// StreamSnap is a snapshotted environment stream.
+	StreamSnap = vm.StreamSnap
+	// FeedEntry is one recorded operation outcome, consumed by Restore.
+	FeedEntry = vm.FeedEntry
+	// ThreadInfo describes one thread of a paused machine for inspection.
+	ThreadInfo = vm.ThreadInfo
+)
+
+// NoRunningThread marks a snapshot taken on a paused machine, where every
+// live thread is parked with a valid pending operation.
+const NoRunningThread = vm.NoRunningThread
+
+// Restore reconstructs a machine mid-execution from a snapshot plus the
+// per-thread operation feeds derived from the recorded trace prefix. The
+// returned machine is paused at the snapshot's event; drive it with
+// Machine.Continue and Machine.Finish.
+func Restore(cfg Config, setup func(*Machine) func(*Thread), snap *Snapshot, feeds [][]FeedEntry) (*Machine, error) {
+	return vm.Restore(cfg, setup, snap, feeds)
+}
+
+// OpName renders a ThreadSnap.PendingCode as its operation name.
+func OpName(code uint8) string { return vm.OpName(code) }

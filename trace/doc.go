@@ -1,0 +1,14 @@
+// Package trace is the public execution-event model of the debugdet SDK:
+// the events, values and codecs shared by the virtual machine (debugdet/sim),
+// the workload contract (debugdet/scen) and the record/replay engines.
+//
+// An execution of a program on the deterministic VM is fully described by
+// the ordered sequence of events it emits; the relaxed determinism models
+// of the paper correspond to persisting progressively smaller projections
+// of that sequence. Every type here is an alias for the engine-internal
+// definition, so values flow between user code and the internal machinery
+// without conversion.
+//
+// Architecture: DESIGN.md §1 explains how the VM emits this event model;
+// DESIGN.md §2 maps the determinism spectrum onto projections of it.
+package trace
