@@ -8,6 +8,7 @@ import (
 
 	"debugdet/internal/core"
 	"debugdet/internal/eval"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/race"
 	"debugdet/internal/record"
 	"debugdet/internal/replay"
@@ -342,7 +343,7 @@ func BenchmarkPerfectReplay(b *testing.B) {
 // benchLongRecording records a long-trace production run (a scaled-up
 // bank) under the perfect model, checkpointed every interval events
 // (0 = no checkpoints).
-func benchLongRecording(b *testing.B, interval uint64) (*Scenario, *Recording) {
+func benchLongRecording(b *testing.B, interval int64) (*Scenario, *Recording) {
 	b.Helper()
 	s, err := workload.ByName("bank")
 	if err != nil {
@@ -366,7 +367,7 @@ func benchLongRecording(b *testing.B, interval uint64) (*Scenario, *Recording) {
 func BenchmarkCheckpointSeek(b *testing.B) {
 	for _, cfg := range []struct {
 		name     string
-		interval uint64
+		interval int64
 	}{{"checkpointed", 1024}, {"from-start", 0}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			s, rec := benchLongRecording(b, cfg.interval)
@@ -386,6 +387,32 @@ func BenchmarkCheckpointSeek(b *testing.B) {
 	}
 }
 
+// BenchmarkFlightRecorder measures the streaming recorder end to end: the
+// same scaled-up bank run as benchLongRecording, recorded through segment
+// rotation and spill into a temp directory instead of a monolithic
+// in-memory Recording. The delta against a checkpointed RecordOnly of the
+// same configuration is the flight recorder's pipeline overhead (segment
+// codec, feed log, manifest rewrites).
+func BenchmarkFlightRecorder(b *testing.B) {
+	s, err := workload.ByName("bank")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := flightrec.Record(s, s.DefaultSeed, scenario.Params{"transfers": 400}, flightrec.Options{
+			RingSegments: 2,
+			SpillDir:     b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 || res.Spilled == 0 {
+			b.Fatalf("flight recording did not spill: %d events, %d spilled", res.Events, res.Spilled)
+		}
+	}
+}
+
 // BenchmarkSegmentedReplay measures validated replay of a long perfect
 // recording: plain sequential replay against segmented replay at several
 // worker counts. Segment count tracks the worker budget (a restore costs
@@ -398,7 +425,7 @@ func BenchmarkSegmentedReplay(b *testing.B) {
 	// First find the trace length, then checkpoint at quarters so the
 	// segments match a small worker pool.
 	_, plain := benchLongRecording(b, 0)
-	s, rec := benchLongRecording(b, plain.EventCount/4)
+	s, rec := benchLongRecording(b, int64(plain.EventCount/4))
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res := replay.Replay(s, rec, replay.Options{})

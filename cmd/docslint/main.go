@@ -1,8 +1,9 @@
 // Command docslint enforces the documentation contract of the public SDK
-// surface: every public package (and internal/checkpoint, the subsystem
-// DESIGN.md §5 documents) must carry a package comment, and every
-// exported symbol of the public packages must have a godoc comment. CI
-// runs it as the docs-lint job; it exits non-zero listing the misses.
+// surface: every public package (and internal/checkpoint and
+// internal/flightrec, the subsystems DESIGN.md §5-§6 document) must carry
+// a package comment, and every exported symbol of the public packages
+// must have a godoc comment. CI runs it as the docs-lint job; it exits
+// non-zero listing the misses.
 //
 // The checker deliberately reads source, not compiled packages, so it
 // needs no build context beyond the repository checkout:
@@ -37,6 +38,7 @@ var targets = []target{
 	{"trace", true},
 	{"figures", true},
 	{"internal/checkpoint", false},
+	{"internal/flightrec", false},
 }
 
 func main() {

@@ -28,7 +28,7 @@ func main() {
 	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
 	workers := flag.Int("workers", 0, "concurrent cells (default GOMAXPROCS; results are identical for any value)")
 	genVal := flag.Int64("gen", 0, "generator seed for -table fuzz (omit for the pinned failing defaults)")
-	ckpt := flag.Uint64("ckpt", 0, "checkpoint interval for perfect-model cells (0 = off; affects -table overhead)")
+	ckpt := flag.Int64("ckpt", 0, "checkpoint interval for perfect-model cells (0 = off; affects -table overhead)")
 	flag.Parse()
 	// Distinguish "-gen 0" (a real fuzzer seed) from an absent flag.
 	var gen *int64

@@ -18,17 +18,36 @@ import (
 // Engine.Debug. It reads commands from stdin (or -script, semicolon
 // separated, for non-interactive use — the CI smoke test drives it that
 // way), so it works both at a terminal and scripted.
-func runDebug(scenarioName, in string, seed int64, ckpt uint64, script string) {
-	var rec *debugdet.Recording
+func runDebug(scenarioName, in string, seed int64, ckpt int64, script string) {
+	if ckpt < 0 {
+		fatal(fmt.Errorf("-ckpt must not be negative (got %d; 0 means the default interval)", ckpt))
+	}
+	var d *debugdet.DebugSession
 	var s *debugdet.Scenario
-	if in != "" {
-		rec = loadRecording(in)
+	var err error
+	switch {
+	case in != "" && isDir(in):
+		// A flight recorder's spill directory: debug over the segment
+		// store, no monolithic recording in memory.
+		st, oerr := debugdet.OpenSegmentStore(in)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		name := scenarioName
+		if name == "" {
+			name = st.Meta().Scenario
+		}
+		s = mustScenario(name)
+		d, err = eng.DebugStore(context.Background(), s, st, debugdet.DebugOptions{Interval: uint64(ckpt)})
+	case in != "":
+		rec := loadRecording(in)
 		name := scenarioName
 		if name == "" {
 			name = rec.Scenario
 		}
 		s = mustScenario(name)
-	} else {
+		d, err = eng.Debug(context.Background(), s, rec, debugdet.DebugOptions{Interval: uint64(ckpt)})
+	default:
 		// No recording on disk: record the scenario's default failing run
 		// under the perfect model on the fly, checkpointed.
 		s = mustScenario(scenarioName)
@@ -36,7 +55,7 @@ func runDebug(scenarioName, in string, seed int64, ckpt uint64, script string) {
 		if interval == 0 {
 			interval = 64
 		}
-		var err error
+		var rec *debugdet.Recording
 		rec, _, err = eng.Record(context.Background(), s, debugdet.Perfect, debugdet.Options{
 			Seed:               seed,
 			CheckpointInterval: interval,
@@ -45,9 +64,8 @@ func runDebug(scenarioName, in string, seed int64, ckpt uint64, script string) {
 			fatal(err)
 		}
 		fmt.Printf("recorded %s: %d events, %d checkpoints\n", s.Name, rec.EventCount, len(rec.Checkpoints))
+		d, err = eng.Debug(context.Background(), s, rec, debugdet.DebugOptions{Interval: uint64(ckpt)})
 	}
-
-	d, err := eng.Debug(context.Background(), s, rec, debugdet.DebugOptions{Interval: ckpt})
 	if err != nil {
 		fatal(err)
 	}

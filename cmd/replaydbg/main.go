@@ -30,9 +30,12 @@ type opts struct {
 	out      string
 	in       string
 	budget   int
-	ckpt     uint64
+	ckpt     int64
 	to       uint64
 	script   string
+	spill    string
+	ring     int
+	retain   int
 }
 
 // flag registration helpers, composed per command.
@@ -55,13 +58,22 @@ func budgetFlag(fs *flag.FlagSet, o *opts) {
 	fs.IntVar(&o.budget, "budget", 200, "inference budget for relaxed-model replay")
 }
 func ckptFlag(fs *flag.FlagSet, o *opts) {
-	fs.Uint64Var(&o.ckpt, "ckpt", 0, "checkpoint interval in events (0 = off for record, default for debug/seek)")
+	fs.Int64Var(&o.ckpt, "ckpt", 0, "checkpoint interval in events (0 = off for record, default for debug/seek; negative rejected)")
 }
 func toFlag(fs *flag.FlagSet, o *opts) {
 	fs.Uint64Var(&o.to, "to", 0, "target event to seek to")
 }
 func scriptFlag(fs *flag.FlagSet, o *opts) {
 	fs.StringVar(&o.script, "script", "", "semicolon-separated debug commands to run instead of reading stdin")
+}
+func spillFlag(fs *flag.FlagSet, o *opts) {
+	fs.StringVar(&o.spill, "spill", "", "spill directory: record with the always-on flight recorder instead of an in-memory recording")
+}
+func ringFlag(fs *flag.FlagSet, o *opts) {
+	fs.IntVar(&o.ring, "ring", 0, "flight recorder: sealed segments kept in memory (0 = default)")
+}
+func retainFlag(fs *flag.FlagSet, o *opts) {
+	fs.IntVar(&o.retain, "retain", 0, "flight recorder: spilled segments kept on disk (0 = keep all)")
 }
 
 // command is one CLI verb. Usage text and dispatch both derive from the
@@ -82,8 +94,8 @@ func init() {
 		{"list", "list the scenario corpus", nil,
 			func(*opts) { runList() }},
 		{"record", "record a production run under a determinism model",
-			[]func(*flag.FlagSet, *opts){scenarioFlag, modelFlag, seedFlag, outFlag, ckptFlag},
-			func(o *opts) { runRecord(o.scenario, o.model, o.seed, o.out, o.ckpt) }},
+			[]func(*flag.FlagSet, *opts){scenarioFlag, modelFlag, seedFlag, outFlag, ckptFlag, spillFlag, ringFlag, retainFlag},
+			func(o *opts) { runRecord(o) }},
 		{"replay", "replay a recording front-to-back",
 			[]func(*flag.FlagSet, *opts){scenarioFlag, inFlag, budgetFlag},
 			func(o *opts) { runReplay(o.scenario, o.in, o.budget) }},
@@ -102,6 +114,9 @@ func init() {
 		{"show", "print a recording's summary and first events",
 			[]func(*flag.FlagSet, *opts){inFlag},
 			func(o *opts) { runShow(o.in) }},
+		{"info", "print a recording file's or spill directory's checkpoint and segment summary",
+			[]func(*flag.FlagSet, *opts){inFlag},
+			func(o *opts) { runInfo(o.in) }},
 		{"help", "print this usage text", nil,
 			func(*opts) { usage(os.Stdout) }},
 	}
@@ -223,15 +238,19 @@ func runCauses(scenarioName string, budget int) {
 	}
 }
 
-func runRecord(scenarioName, modelName string, seed int64, out string, ckpt uint64) {
-	s := mustScenario(scenarioName)
-	model, err := debugdet.ParseModel(modelName)
+func runRecord(o *opts) {
+	s := mustScenario(o.scenario)
+	if o.spill != "" {
+		runRecordStreaming(s, o)
+		return
+	}
+	model, err := debugdet.ParseModel(o.model)
 	if err != nil {
 		fatal(err)
 	}
 	rec, view, err := eng.Record(context.Background(), s, model, debugdet.Options{
-		Seed:               seed,
-		CheckpointInterval: ckpt,
+		Seed:               o.seed,
+		CheckpointInterval: o.ckpt,
 	})
 	if err != nil {
 		fatal(err)
@@ -240,12 +259,12 @@ func runRecord(scenarioName, modelName string, seed int64, out string, ckpt uint
 	fmt.Printf("recorded: %s\n", rec.Summary())
 	if len(rec.Checkpoints) > 0 {
 		fmt.Printf("checkpoints: %d every %d events (%d bytes)\n",
-			len(rec.Checkpoints), ckpt, rec.CheckpointBytes)
+			len(rec.Checkpoints), o.ckpt, rec.CheckpointBytes)
 	}
 	fmt.Printf("original run: outcome=%s failed=%v sig=%q causes=%v\n",
 		view.Result.Outcome, failed, sig, s.PresentCauses(view))
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			fatal(err)
 		}
@@ -253,8 +272,35 @@ func runRecord(scenarioName, modelName string, seed int64, out string, ckpt uint
 		if err := debugdet.SaveRecording(f, rec); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("wrote %s\n", o.out)
 	}
+}
+
+// runRecordStreaming records with the always-on flight recorder: segments
+// rotate through a bounded in-memory ring and spill to -spill; nothing
+// else of the run is kept in memory.
+func runRecordStreaming(s *debugdet.Scenario, o *opts) {
+	if o.model != "" && o.model != "perfect" {
+		fatal(fmt.Errorf("-spill records under the perfect model (streaming needs the complete event stream); drop -model %s", o.model))
+	}
+	fr, err := eng.RecordStreaming(context.Background(), s, debugdet.Options{
+		Seed:               o.seed,
+		CheckpointInterval: o.ckpt,
+		FlightRecorder: &debugdet.FlightRecorderOptions{
+			SpillDir:     o.spill,
+			RingSegments: o.ring,
+			Retention:    o.retain,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flight-recorded %s: %d events in %d segments (%d spilled, %d evicted)\n",
+		s.Name, fr.Events, fr.Segments, fr.Spilled, fr.Evicted)
+	fmt.Printf("bytes: log=%d checkpoints=%d feed-log=%d; peak recorder memory %d\n",
+		fr.LogBytes, fr.CheckpointBytes, fr.FeedBytes, fr.PeakMemBytes)
+	fmt.Printf("original run: failed=%v sig=%q\n", fr.Failed, fr.FailureSig)
+	fmt.Printf("wrote %s (use 'replaydbg info|seek|debug -in %s')\n", o.spill, o.spill)
 }
 
 func runReplay(scenarioName, in string, budget int) {
@@ -286,6 +332,10 @@ func runSeek(scenarioName, in string, target uint64) {
 	if in == "" {
 		fatal(fmt.Errorf("missing -in recording path"))
 	}
+	if isDir(in) {
+		runSeekStore(scenarioName, in, target)
+		return
+	}
 	rec := loadRecording(in)
 	name := scenarioName
 	if name == "" {
@@ -304,6 +354,38 @@ func runSeek(scenarioName, in string, target uint64) {
 	fmt.Printf("position %d/%d, restored from %s, replayed %d events\n",
 		sess.Pos(), rec.EventCount, from, sess.ReplaySteps)
 	printThreads(sess.Machine)
+}
+
+// runSeekStore is runSeek over a flight recorder's spill directory.
+func runSeekStore(scenarioName, dir string, target uint64) {
+	st, err := debugdet.OpenSegmentStore(dir)
+	if err != nil {
+		fatal(err)
+	}
+	name := scenarioName
+	if name == "" {
+		name = st.Meta().Scenario
+	}
+	s := mustScenario(name)
+	sess, err := eng.SeekStore(context.Background(), s, st, target, debugdet.ReplayOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	from := "start (no retained checkpoint ≤ target)"
+	if sess.FromCheckpoint {
+		from = fmt.Sprintf("checkpoint @%d", sess.SuffixFrom)
+	}
+	fmt.Printf("position %d/%d, restored from %s, replayed %d events\n",
+		sess.Pos(), st.Meta().EventCount, from, sess.ReplaySteps)
+	printThreads(sess.Machine)
+}
+
+// isDir reports whether path exists and is a directory (a flight
+// recorder's spill directory rather than a .ddrc recording file).
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
 }
 
 func runEval(scenarioName, modelName string, seed int64, budget int) {
@@ -347,5 +429,59 @@ func runShow(in string) {
 			break
 		}
 		fmt.Printf("  %s\n", e)
+	}
+}
+
+// runInfo prints the checkpoint/segment structure of a recording file or
+// a flight recorder's spill directory. A nonexistent path is a usage
+// error (status 2), matching unknown verbs and flags.
+func runInfo(in string) {
+	if in == "" {
+		fatal(fmt.Errorf("missing -in path (a .ddrc recording or a spill directory)"))
+	}
+	if _, err := os.Stat(in); err != nil {
+		fmt.Fprintf(os.Stderr, "replaydbg info: %v\n", err)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if isDir(in) {
+		infoStore(in)
+		return
+	}
+	rec := loadRecording(in)
+	fmt.Println(rec.Summary())
+	fmt.Printf("checkpoints: %d (%d bytes)\n", len(rec.Checkpoints), rec.CheckpointBytes)
+	bounds := rec.SegmentBounds()
+	fmt.Printf("segments: %d\n", len(bounds))
+	for i, from := range bounds {
+		to := rec.EventCount
+		if i+1 < len(bounds) {
+			to = bounds[i+1]
+		}
+		fmt.Printf("  %3d  [%8d, %8d)  %8d events\n", i, from, to, to-from)
+	}
+}
+
+// infoStore prints a spill directory's manifest summary.
+func infoStore(dir string) {
+	st, err := debugdet.OpenSegmentStore(dir)
+	if err != nil {
+		fatal(err)
+	}
+	meta := st.Meta()
+	fmt.Printf("flight recording: %s model=%s seed=%d events=%d interval=%d finalized=%v\n",
+		meta.Scenario, meta.Model, meta.Seed, meta.EventCount, meta.Interval, st.Finalized())
+	fmt.Printf("terminal: failed=%v sig=%q; streams=%v\n", meta.Failed, meta.FailureSig, meta.Streams)
+	fmt.Printf("feed log: %d entries, %d bytes (full-run seekability floor)\n", st.FeedCount(), st.FeedBytes())
+	segs := st.Segments()
+	lo, hi := uint64(0), uint64(0)
+	if len(segs) > 0 {
+		lo, hi = segs[0].From, segs[len(segs)-1].To
+	}
+	fmt.Printf("retained segments: %d covering [%d, %d); checkpoints at %v\n",
+		len(segs), lo, hi, st.SnapshotSeqs())
+	for _, si := range segs {
+		fmt.Printf("  %3d  [%8d, %8d)  %8d events  %8d bytes  %s\n",
+			si.Index, si.From, si.To, si.Events(), si.Bytes, si.File)
 	}
 }

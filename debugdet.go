@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"debugdet/internal/core"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/invariant"
 	"debugdet/internal/record"
 	"debugdet/internal/replay"
@@ -53,6 +54,27 @@ type (
 	DebugSession = replay.Debugger
 	// DebugOptions configures a DebugSession.
 	DebugOptions = replay.DebugOptions
+	// SegmentStore is the segment-store contract the seek, segmented and
+	// debug paths consume in place of a monolithic Recording: a flight
+	// recorder's spill directory (OpenSegmentStore) or any other
+	// implementation.
+	SegmentStore = flightrec.Store
+	// StoreMeta is a segment store's run identity.
+	StoreMeta = flightrec.Meta
+	// SegmentInfo describes one checkpoint-delimited segment of a store.
+	SegmentInfo = flightrec.SegmentInfo
+	// FlightRecorderOptions configures Engine.RecordStreaming's bounded-
+	// memory recording (Options.FlightRecorder): rotation interval,
+	// in-memory ring size, spill directory and on-disk retention.
+	FlightRecorderOptions = flightrec.Options
+	// FlightRecording is a finished streaming recording: the reopened
+	// segment store plus the recorder's accounting (peak memory, spill
+	// and eviction counts, byte volumes).
+	FlightRecording = flightrec.RecordResult
+	// DiskSegmentStore is the SegmentStore implementation over a spill
+	// directory, with the on-disk extras (Finalized, FeedCount,
+	// FeedBytes) the generic interface does not carry.
+	DiskSegmentStore = flightrec.DiskStore
 	// Snapshot is one deterministic VM state checkpoint as persisted in a
 	// recording (Recording.Checkpoints); see debugdet/sim for the full
 	// snapshot vocabulary.

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"debugdet/internal/core"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/replay"
 	"debugdet/internal/workload"
 	"debugdet/scen"
@@ -143,6 +144,26 @@ func (e *Engine) Record(ctx context.Context, s *Scenario, model Model, o Options
 	return rec, view, err
 }
 
+// RecordStreaming runs the scenario once with the flight recorder
+// attached — the always-on production-run mode. Instead of accumulating a
+// monolithic in-memory Recording, events rotate through a bounded segment
+// ring and spill to o.FlightRecorder.SpillDir as checkpoint-delimited
+// .ddseg files plus a feed log and manifest; recorder memory stays O(ring)
+// no matter how long the run is. The returned result carries the reopened
+// SegmentStore, which Seek, segmented replay and Debug consume via
+// SeekStore, ReplaySegmentedStore and DebugStore. Streaming recording is
+// always perfect-model.
+func (e *Engine) RecordStreaming(ctx context.Context, s *Scenario, o Options) (*FlightRecording, error) {
+	o, stop := e.fill(ctx, o)
+	defer stop()
+	return core.RecordStreaming(s, o)
+}
+
+// OpenSegmentStore opens a flight recorder's spill directory for replay.
+func OpenSegmentStore(dir string) (*DiskSegmentStore, error) {
+	return flightrec.Open(dir)
+}
+
 // Replay reconstructs an execution from a recording under the recording's
 // model semantics. Cancelling ctx aborts the inference search between
 // candidate executions and returns the context error.
@@ -178,6 +199,17 @@ func (e *Engine) Seek(ctx context.Context, s *Scenario, rec *Recording, target u
 	return replay.Seek(s, rec, target, o)
 }
 
+// SeekStore is Seek over a segment store — typically a flight recorder's
+// spill directory (OpenSegmentStore). Targets inside the retained tail
+// restore the nearest boundary snapshot; earlier targets fall back to a
+// full replay from the start, which the store's feed log always supports.
+func (e *Engine) SeekStore(ctx context.Context, s *Scenario, st SegmentStore, target uint64, o ReplayOptions) (*SeekSession, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return replay.SeekStore(s, st, target, o)
+}
+
 // ReplaySegmented validates a perfect recording by replaying its
 // checkpoint-delimited trace segments concurrently across the engine's
 // worker budget (o.Workers overrides). The result is deep-equal for every
@@ -194,6 +226,19 @@ func (e *Engine) ReplaySegmented(ctx context.Context, s *Scenario, rec *Recordin
 	return replay.Segmented(s, rec, o)
 }
 
+// ReplaySegmentedStore is ReplaySegmented over a segment store: it
+// replays and validates the store's retained segments concurrently. Over
+// a spill directory under retention that is the retained tail of the run.
+func (e *Engine) ReplaySegmentedStore(ctx context.Context, s *Scenario, st SegmentStore, o ReplayOptions) (*SegmentedResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if o.Workers == 0 {
+		o.Workers = e.effectiveWorkers()
+	}
+	return replay.SegmentedStore(s, st, o)
+}
+
 // Debug opens an interactive time-travel session over a perfect-model
 // recording: step forward, seek to any event, step backward, and inspect
 // thread, cell, lock, channel and stream state at the cursor — the API the
@@ -205,6 +250,17 @@ func (e *Engine) Debug(ctx context.Context, s *Scenario, rec *Recording, o Debug
 		return nil, err
 	}
 	return replay.NewDebugger(s, rec, o)
+}
+
+// DebugStore is Debug over a segment store. The cursor spans the whole
+// recorded execution; positions before the store's retained tail replay
+// from the start via the feed log, and event inspection is available
+// inside the retained range.
+func (e *Engine) DebugStore(ctx context.Context, s *Scenario, st SegmentStore, o DebugOptions) (*DebugSession, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return replay.NewStoreDebugger(s, st, o)
 }
 
 // Evaluate runs the full pipeline — record, replay, metrics — for one

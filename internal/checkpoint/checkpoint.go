@@ -24,6 +24,7 @@ type Writer struct {
 	cost     *vm.CostModel
 	snaps    []*vm.Snapshot
 	bytes    int64
+	sink     func(*vm.Snapshot)
 }
 
 // NewWriter returns a writer capturing every interval events on m
@@ -33,6 +34,19 @@ func NewWriter(m *vm.Machine, interval uint64) *Writer {
 		interval = DefaultInterval
 	}
 	return &Writer{m: m, interval: interval, cost: m.Cost()}
+}
+
+// NewStreamingWriter returns a writer that hands each captured snapshot to
+// sink instead of retaining it. Capture timing and cost accounting are
+// identical to NewWriter — a streamed run charges the same RecordCycles as
+// a retained run — but ownership of every snapshot moves to the sink, so a
+// bounded-memory consumer (the flight recorder's segment ring) does not
+// pay for a second, unbounded copy in the writer. Snapshots returns nil
+// for a streaming writer; Bytes still accumulates.
+func NewStreamingWriter(m *vm.Machine, interval uint64, sink func(*vm.Snapshot)) *Writer {
+	w := NewWriter(m, interval)
+	w.sink = sink
+	return w
 }
 
 // OnEvent implements vm.Observer: on interval boundaries it snapshots the
@@ -45,9 +59,13 @@ func (w *Writer) OnEvent(e *trace.Event) uint64 {
 		return 0
 	}
 	s := w.m.Snapshot(e.TID)
-	w.snaps = append(w.snaps, s)
 	n := SnapshotSize(s)
 	w.bytes += n
+	if w.sink != nil {
+		w.sink(s)
+	} else {
+		w.snaps = append(w.snaps, s)
+	}
 	return w.cost.RecordCost(int(n))
 }
 

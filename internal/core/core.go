@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"debugdet/internal/checkpoint"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/invariant"
 	"debugdet/internal/metrics"
 	"debugdet/internal/plane"
@@ -77,16 +78,33 @@ type Options struct {
 	// MaxSteps bounds every execution (0 = VM default).
 	MaxSteps uint64
 	// CheckpointInterval captures a VM state snapshot into the recording
-	// every that many events (0 = off), enabling checkpointed seek and
-	// segmented parallel replay on the recording. Checkpoints need the
-	// complete event stream, so the interval only applies to the perfect
-	// model; other models ignore it. Capture work is charged to the
-	// recording overhead like any other recording work.
-	CheckpointInterval uint64
+	// every that many events, enabling checkpointed seek and segmented
+	// parallel replay on the recording. Zero means off — no checkpoints
+	// are captured, and seek falls back to replaying from the start.
+	// Negative values are rejected with an error rather than silently
+	// disabling checkpoints. Checkpoints need the complete event stream,
+	// so the interval only applies to the perfect model; other models
+	// ignore it. Capture work is charged to the recording overhead like
+	// any other recording work.
+	CheckpointInterval int64
 	// Workers sets the replay-inference worker-pool size (0 =
 	// GOMAXPROCS, 1 = sequential). The evaluation result is identical
 	// for every worker count.
 	Workers int
+	// FlightRecorder configures RecordStreaming's always-on bounded-memory
+	// recording: the spill directory, the in-memory ring size and the
+	// on-disk retention cap. Only RecordStreaming reads it; Record and
+	// Evaluate build monolithic recordings and ignore it.
+	FlightRecorder *flightrec.Options
+}
+
+// validate rejects option values that would otherwise be silently
+// reinterpreted.
+func (o Options) validate() error {
+	if o.CheckpointInterval < 0 {
+		return fmt.Errorf("core: Options.CheckpointInterval must not be negative (got %d; use 0 to disable checkpoints)", o.CheckpointInterval)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +166,9 @@ func (e *Evaluation) Summary() string {
 // statistics (nil for the other models).
 func RecordOnly(s *scenario.Scenario, model record.Model, o Options) (*record.Recording, *scenario.RunView, *rcse.Setup, error) {
 	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, nil, nil, err
+	}
 	if o.Seed == 0 {
 		o.Seed = s.DefaultSeed
 	}
@@ -180,7 +201,7 @@ func RecordOnly(s *scenario.Scenario, model record.Model, o Options) (*record.Re
 		inner := factory
 		factory = func(m *vm.Machine) (record.Policy, []vm.Observer) {
 			policy, obs := inner(m)
-			ckpt = checkpoint.NewWriter(m, o.CheckpointInterval)
+			ckpt = checkpoint.NewWriter(m, uint64(o.CheckpointInterval))
 			return policy, append(obs, ckpt)
 		}
 	}
@@ -196,6 +217,37 @@ func RecordOnly(s *scenario.Scenario, model record.Model, o Options) (*record.Re
 		rec.CheckpointBytes = ckpt.Bytes()
 	}
 	return rec, orig, setup, nil
+}
+
+// RecordStreaming runs the scenario once with the flight recorder
+// attached: an always-on, bounded-memory production run whose segments
+// rotate through a fixed-size ring and spill to o.FlightRecorder.SpillDir,
+// instead of accumulating a monolithic in-memory Recording. The run is
+// always a perfect-model recording — streaming needs the complete event
+// stream, and the spill directory replays through the same seek, segmented
+// and debug paths as a checkpointed recording.
+//
+// The rotation interval is o.FlightRecorder.Interval; when zero it falls
+// back to o.CheckpointInterval, then to the checkpoint default.
+func RecordStreaming(s *scenario.Scenario, o Options) (*flightrec.RecordResult, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.Seed == 0 {
+		o.Seed = s.DefaultSeed
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	if o.FlightRecorder == nil || o.FlightRecorder.SpillDir == "" {
+		return nil, fmt.Errorf("core: streaming recording needs Options.FlightRecorder with a SpillDir")
+	}
+	fo := *o.FlightRecorder
+	if fo.Interval == 0 && o.CheckpointInterval > 0 {
+		fo.Interval = uint64(o.CheckpointInterval)
+	}
+	return flightrec.Record(s, o.Seed, o.Params, fo)
 }
 
 // Evaluate runs the full pipeline for one scenario under one model.

@@ -52,7 +52,7 @@ func TableCheckpoint(o Options) ([]CkptRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	intervals := []uint64{0, 512, 256, 128, 64, 32}
+	intervals := []int64{0, 512, 256, 128, 64, 32}
 	rows := make([]CkptRow, len(intervals))
 	err = runGrid(o.Ctx, len(intervals), o.Workers, func(i int) error {
 		interval := intervals[i]
@@ -64,7 +64,7 @@ func TableCheckpoint(o Options) ([]CkptRow, error) {
 			return fmt.Errorf("ckpt interval %d: %w", interval, err)
 		}
 		row := CkptRow{
-			Interval:    interval,
+			Interval:    uint64(interval),
 			Events:      rec.EventCount,
 			Overhead:    rec.Overhead,
 			LogBytes:    rec.LogBytes,

@@ -38,10 +38,11 @@ type Options struct {
 	// outer parallelism and already saturates the cores.
 	Workers int
 	// CheckpointInterval captures VM state snapshots into perfect-model
-	// recordings every that many events (0 = off), so the overhead tables
-	// can report the checkpoint volume and capture cost next to the log
-	// volume (T-OVH's checkpoint column; the T-CKPT sweep varies it).
-	CheckpointInterval uint64
+	// recordings every that many events (0 = off, negative rejected by
+	// the pipeline), so the overhead tables can report the checkpoint
+	// volume and capture cost next to the log volume (T-OVH's checkpoint
+	// column; the T-CKPT sweep varies it).
+	CheckpointInterval int64
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,329 @@
+package flightrec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// DiskStore is a spill directory opened for replay. The manifest is read
+// eagerly; segment files lazily (and cached); the feed log on first
+// demand, in one pass that derives everything vm.Restore and the replay
+// configuration need: the full per-thread feeds, per-boundary feed
+// counts, the schedule stream, the absolute per-stream input sequences,
+// and the input/output records that rehydrate boundary snapshots' stream
+// histories. Opening a store therefore costs O(run) memory at debug time
+// — the bounded resource is the recorder's memory at record time, not the
+// debugger's.
+//
+// A DiskStore is safe for concurrent readers.
+type DiskStore struct {
+	dir string
+	man *manifest
+
+	mu   sync.Mutex
+	segs map[int]*Segment // by position in man.Segments
+
+	feedOnce sync.Once
+	feedErr  error
+	feeds    *feedData
+}
+
+// feedData is everything one scan of the feed log yields.
+type feedData struct {
+	perThread [][]vm.FeedEntry
+	counts    map[uint64][]int // boundary seq → events per thread before it
+	sched     []trace.ThreadID
+	inputs    map[string][]trace.Value
+	ios       []ioRec
+}
+
+// ioRec is one input/output event of the run, for stream-history
+// rehydration: event index, direction, stream and value.
+type ioRec struct {
+	idx uint64
+	in  bool
+	obj trace.ObjID
+	val trace.Value
+}
+
+// Open reads the manifest of a spill directory and returns the store.
+func Open(dir string) (*DiskStore, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: open store: %w", err)
+	}
+	defer f.Close()
+	man, err := decodeManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: %s: %w", manifestName, err)
+	}
+	for i := 1; i < len(man.Segments); i++ {
+		if man.Segments[i].From != man.Segments[i-1].To {
+			return nil, fmt.Errorf("%w: segments not contiguous at %d ([..., %d) then [%d, ...))",
+				ErrCorrupt, i, man.Segments[i-1].To, man.Segments[i].From)
+		}
+	}
+	if n := len(man.Segments); man.Finalized && n > 0 && man.Segments[n-1].To != man.Meta.EventCount {
+		return nil, fmt.Errorf("%w: last segment ends at %d, run has %d events",
+			ErrCorrupt, man.Segments[n-1].To, man.Meta.EventCount)
+	}
+	return &DiskStore{dir: dir, man: man, segs: make(map[int]*Segment)}, nil
+}
+
+// Dir returns the spill directory path.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// Finalized reports whether the run finished and stamped its terminal
+// condition (an unfinalized manifest is a crash artifact: readable, but
+// Failed/FailureSig are not authoritative).
+func (ds *DiskStore) Finalized() bool { return ds.man.Finalized }
+
+// FeedCount returns the number of feed-log entries the manifest declares.
+func (ds *DiskStore) FeedCount() uint64 { return ds.man.FeedCount }
+
+// FeedBytes returns the feed log's size per the manifest.
+func (ds *DiskStore) FeedBytes() int64 { return ds.man.FeedBytes }
+
+// Meta implements Store.
+func (ds *DiskStore) Meta() Meta { return ds.man.Meta }
+
+// Segments implements Store.
+func (ds *DiskStore) Segments() []SegmentInfo {
+	return append([]SegmentInfo(nil), ds.man.Segments...)
+}
+
+// Events implements Store.
+func (ds *DiskStore) Events(i int) ([]trace.Event, error) {
+	seg, err := ds.segment(i)
+	if err != nil {
+		return nil, err
+	}
+	return seg.Events, nil
+}
+
+// segment loads (or returns the cached) segment at position i, with its
+// boundary snapshot rehydrated and restore-ready.
+func (ds *DiskStore) segment(i int) (*Segment, error) {
+	if i < 0 || i >= len(ds.man.Segments) {
+		return nil, fmt.Errorf("flightrec: segment %d of %d", i, len(ds.man.Segments))
+	}
+	ds.mu.Lock()
+	if seg, ok := ds.segs[i]; ok {
+		ds.mu.Unlock()
+		return seg, nil
+	}
+	ds.mu.Unlock()
+	si := ds.man.Segments[i]
+	f, err := os.Open(filepath.Join(ds.dir, si.File))
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: open segment: %w", err)
+	}
+	seg, err := DecodeSegment(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: %s: %w", si.File, err)
+	}
+	if seg.From != si.From || seg.To != si.To || seg.Index != si.Index {
+		return nil, fmt.Errorf("%w: %s holds segment %d [%d, %d), manifest says %d [%d, %d)",
+			ErrCorrupt, si.File, seg.Index, seg.From, seg.To, si.Index, si.From, si.To)
+	}
+	seg.Bytes, seg.File = si.Bytes, si.File
+	if seg.Snap != nil {
+		if err := ds.rehydrate(seg.Snap); err != nil {
+			return nil, err
+		}
+	}
+	ds.mu.Lock()
+	if cached, ok := ds.segs[i]; ok {
+		seg = cached // another reader won the race; share its copy
+	} else {
+		ds.segs[i] = seg
+	}
+	ds.mu.Unlock()
+	return seg, nil
+}
+
+// rehydrate rebuilds a boundary snapshot's per-stream histories from the
+// feed log's input/output records (the codec persists only the cursor).
+func (ds *DiskStore) rehydrate(snap *vm.Snapshot) error {
+	fd, err := ds.feedData()
+	if err != nil {
+		return err
+	}
+	for _, io := range fd.ios {
+		if io.idx >= snap.Seq {
+			break
+		}
+		if int(io.obj) >= len(snap.Streams) {
+			return fmt.Errorf("%w: stream %d in feed log, snapshot at %d has %d streams",
+				ErrCorrupt, io.obj, snap.Seq, len(snap.Streams))
+		}
+		st := &snap.Streams[io.obj]
+		if io.in {
+			st.Inputs = append(st.Inputs, io.val)
+		} else {
+			st.Outputs = append(st.Outputs, io.val)
+		}
+	}
+	for i := range snap.Streams {
+		st := &snap.Streams[i]
+		if len(st.Inputs) != st.InIndex {
+			return fmt.Errorf("%w: snapshot at %d stream %q rebuilt %d inputs, cursor is %d",
+				ErrCorrupt, snap.Seq, st.Name, len(st.Inputs), st.InIndex)
+		}
+	}
+	return nil
+}
+
+// BestSnapshot implements Store: the latest retained boundary snapshot
+// with Seq ≤ target.
+func (ds *DiskStore) BestSnapshot(target uint64) (*vm.Snapshot, error) {
+	best := -1
+	for i, si := range ds.man.Segments {
+		if si.From > 0 && si.From <= target {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	seg, err := ds.segment(best)
+	if err != nil {
+		return nil, err
+	}
+	if seg.Snap == nil {
+		return nil, fmt.Errorf("%w: segment [%d, %d) has no boundary snapshot", ErrCorrupt, seg.From, seg.To)
+	}
+	return seg.Snap, nil
+}
+
+// SnapshotSeqs implements Store.
+func (ds *DiskStore) SnapshotSeqs() []uint64 {
+	var seqs []uint64
+	for _, si := range ds.man.Segments {
+		if si.From > 0 {
+			seqs = append(seqs, si.From)
+		}
+	}
+	return seqs
+}
+
+// Feeds implements Store: slices of the shared full-feed arrays, using
+// the per-boundary counts precomputed during the feed-log scan (with an
+// O(seq) recount as fallback for seqs that are not segment boundaries).
+func (ds *DiskStore) Feeds(snap *vm.Snapshot) ([][]vm.FeedEntry, error) {
+	fd, err := ds.feedData()
+	if err != nil {
+		return nil, err
+	}
+	counts, ok := fd.counts[snap.Seq]
+	if !ok {
+		if snap.Seq > uint64(len(fd.sched)) {
+			return nil, fmt.Errorf("flightrec: feeds need %d events, log has %d", snap.Seq, len(fd.sched))
+		}
+		counts = make([]int, len(fd.perThread))
+		for _, tid := range fd.sched[:snap.Seq] {
+			counts[tid]++
+		}
+	}
+	feeds := make([][]vm.FeedEntry, len(snap.Threads))
+	for tid := range feeds {
+		if tid < len(counts) && tid < len(fd.perThread) {
+			feeds[tid] = fd.perThread[tid][:counts[tid]]
+		}
+	}
+	return feeds, nil
+}
+
+// Sched implements Store.
+func (ds *DiskStore) Sched(from uint64) ([]trace.ThreadID, error) {
+	fd, err := ds.feedData()
+	if err != nil {
+		return nil, err
+	}
+	if from >= uint64(len(fd.sched)) {
+		return nil, nil
+	}
+	return fd.sched[from:], nil
+}
+
+// Inputs implements Store.
+func (ds *DiskStore) Inputs() (vm.InputSource, error) {
+	fd, err := ds.feedData()
+	if err != nil {
+		return nil, err
+	}
+	return &vm.MapInputs{Values: fd.inputs, Base: vm.ZeroInputs}, nil
+}
+
+// feedData scans the feed log once and caches the result.
+func (ds *DiskStore) feedData() (*feedData, error) {
+	ds.feedOnce.Do(func() {
+		ds.feeds, ds.feedErr = ds.scanFeeds()
+	})
+	return ds.feeds, ds.feedErr
+}
+
+// scanFeeds is the single feed-log pass.
+func (ds *DiskStore) scanFeeds() (*feedData, error) {
+	f, err := os.Open(filepath.Join(ds.dir, feedLogName))
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: feed log: %w", err)
+	}
+	defer f.Close()
+	fd := &feedData{
+		counts: make(map[uint64][]int),
+		inputs: make(map[string][]trace.Value),
+	}
+	bounds := ds.SnapshotSeqs()
+	next := 0
+	perTID := []int{}
+	streams := ds.man.Meta.Streams
+	count, err := readFeedLog(f, func(i uint64, fe *feedEntry) error {
+		for next < len(bounds) && bounds[next] == i {
+			fd.counts[i] = append([]int(nil), perTID...)
+			next++
+		}
+		tid := int(fe.TID)
+		if tid < 0 {
+			return fmt.Errorf("%w: feed entry %d has thread %d", ErrCorrupt, i, tid)
+		}
+		for tid >= len(fd.perThread) {
+			fd.perThread = append(fd.perThread, nil)
+			perTID = append(perTID, 0)
+		}
+		fd.perThread[tid] = append(fd.perThread[tid], fe.feed())
+		perTID[tid]++
+		fd.sched = append(fd.sched, fe.TID)
+		switch fe.Kind {
+		case trace.EvInput:
+			if int(fe.Obj) >= len(streams) {
+				return fmt.Errorf("%w: feed entry %d reads stream %d, manifest has %d streams", ErrCorrupt, i, fe.Obj, len(streams))
+			}
+			fd.inputs[streams[fe.Obj]] = append(fd.inputs[streams[fe.Obj]], fe.Val)
+			fd.ios = append(fd.ios, ioRec{idx: i, in: true, obj: fe.Obj, val: fe.Val})
+		case trace.EvOutput:
+			if int(fe.Obj) >= len(streams) {
+				return fmt.Errorf("%w: feed entry %d writes stream %d, manifest has %d streams", ErrCorrupt, i, fe.Obj, len(streams))
+			}
+			fd.ios = append(fd.ios, ioRec{idx: i, in: false, obj: fe.Obj, val: fe.Val})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for next < len(bounds) && bounds[next] == count {
+		fd.counts[count] = append([]int(nil), perTID...)
+		next++
+	}
+	if count != ds.man.FeedCount {
+		return nil, fmt.Errorf("%w: feed log has %d entries, manifest declares %d", ErrCorrupt, count, ds.man.FeedCount)
+	}
+	return fd, nil
+}

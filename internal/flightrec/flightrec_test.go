@@ -1,0 +1,468 @@
+package flightrec_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"debugdet/internal/flightrec"
+	"debugdet/internal/record"
+	"debugdet/internal/replay"
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+	"debugdet/internal/workload"
+)
+
+// flightScenarios is the integration corpus slice: one small scenario and
+// one with real message/stream traffic.
+func flightScenarios(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	stale, err := workload.ByName("dynokv-staleread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*scenario.Scenario{workload.Bank(), stale}
+}
+
+// plainRecording is the reference: the monolithic perfect recording of the
+// same (scenario, seed). Flight recording must not perturb the schedule,
+// so its event stream is expected to be identical.
+func plainRecording(t *testing.T, s *scenario.Scenario) *record.Recording {
+	t.Helper()
+	rec, _, err := record.Record(s, record.Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatalf("%s: record: %v", s.Name, err)
+	}
+	return rec
+}
+
+func flightRecord(t *testing.T, s *scenario.Scenario, o flightrec.Options) *flightrec.RecordResult {
+	t.Helper()
+	if o.SpillDir == "" {
+		o.SpillDir = filepath.Join(t.TempDir(), "spill")
+	}
+	res, err := flightrec.Record(s, s.DefaultSeed, nil, o)
+	if err != nil {
+		t.Fatalf("%s: flight record: %v", s.Name, err)
+	}
+	return res
+}
+
+func assertEventsMatch(t *testing.T, ctx string, got, want []trace.Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if !replay.EventsMatch(&got[i], &want[i]) {
+			t.Fatalf("%s: event %d differs:\ngot  %+v\nwant %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlightRecordMatchesRecording: a flight-recorded run reproduces the
+// monolithic recording's event stream, schedule and terminal identity
+// exactly — streaming changes where bytes go, not what happens.
+func TestFlightRecordMatchesRecording(t *testing.T) {
+	for _, s := range flightScenarios(t) {
+		t.Run(s.Name, func(t *testing.T) {
+			plain := plainRecording(t, s)
+			interval := uint64(len(plain.Full)) / 6
+			if interval < 4 {
+				interval = 4
+			}
+			res := flightRecord(t, s, flightrec.Options{Interval: interval, RingSegments: 2})
+			st := res.Store
+
+			if res.Events != uint64(len(plain.Full)) {
+				t.Fatalf("flight recorded %d events, plain recording has %d", res.Events, len(plain.Full))
+			}
+			if res.Failed != plain.Failed || res.FailureSig != plain.FailureSig {
+				t.Fatalf("terminal identity (%v, %q), plain recording has (%v, %q)",
+					res.Failed, res.FailureSig, plain.Failed, plain.FailureSig)
+			}
+			meta := st.Meta()
+			if meta.Scenario != s.Name || meta.Model != record.Perfect || !meta.SchedComplete {
+				t.Fatalf("meta %+v", meta)
+			}
+			if meta.EventCount != uint64(len(plain.Full)) {
+				t.Fatalf("meta.EventCount %d, want %d", meta.EventCount, len(plain.Full))
+			}
+			if !st.Finalized() {
+				t.Fatal("store not finalized")
+			}
+
+			lo, hi := flightrec.Retained(st)
+			if lo != 0 || hi != meta.EventCount {
+				t.Fatalf("retained [%d, %d), want [0, %d)", lo, hi, meta.EventCount)
+			}
+			evs, err := flightrec.EventRange(st, 0, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEventsMatch(t, "full range", evs, plain.Full)
+
+			sched, err := st.Sched(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sched, plain.Sched) {
+				t.Fatal("schedule differs from plain recording")
+			}
+
+			// Segment table sanity: contiguous, boundaries on the interval.
+			infos := st.Segments()
+			if len(infos) < 3 {
+				t.Fatalf("only %d segments; interval %d over %d events should rotate more", len(infos), interval, res.Events)
+			}
+			for i, si := range infos {
+				if i > 0 && si.From != infos[i-1].To {
+					t.Fatalf("segment %d starts at %d, previous ends at %d", i, si.From, infos[i-1].To)
+				}
+				if si.From%interval != 0 {
+					t.Fatalf("segment %d starts at %d, not on interval %d", i, si.From, interval)
+				}
+			}
+			if res.Spilled != len(infos) || res.Evicted != 0 {
+				t.Fatalf("spilled %d evicted %d, store retains %d", res.Spilled, res.Evicted, len(infos))
+			}
+		})
+	}
+}
+
+// TestFlightSeekEquivalence: seeking into a spill directory restores the
+// exact machine state of the recorded run, and the suffix replayed from
+// there is bit-identical to the corresponding slice of the plain
+// recording (the store-backed version of the seek equivalence contract).
+func TestFlightSeekEquivalence(t *testing.T) {
+	for _, s := range flightScenarios(t) {
+		t.Run(s.Name, func(t *testing.T) {
+			plain := plainRecording(t, s)
+			interval := uint64(len(plain.Full)) / 5
+			if interval < 4 {
+				interval = 4
+			}
+			res := flightRecord(t, s, flightrec.Options{Interval: interval})
+			st := res.Store
+
+			seqs := st.SnapshotSeqs()
+			if len(seqs) == 0 {
+				t.Fatalf("no boundary snapshots with interval %d over %d events", interval, res.Events)
+			}
+			for _, q := range seqs {
+				// Mid-segment target: the boundary restores, then a short
+				// replayed remainder lands exactly on target.
+				target := q + 3
+				if target > res.Events {
+					target = res.Events
+				}
+				sess, err := replay.SeekStore(s, st, target, replay.Options{})
+				if err != nil {
+					t.Fatalf("seek %d: %v", target, err)
+				}
+				if !sess.FromCheckpoint || sess.SuffixFrom != q {
+					t.Fatalf("seek %d: FromCheckpoint=%v SuffixFrom=%d, want boundary %d",
+						target, sess.FromCheckpoint, sess.SuffixFrom, q)
+				}
+				if sess.Pos() != target {
+					t.Fatalf("seek %d: positioned at %d", target, sess.Pos())
+				}
+				view, ok := sess.RunToEnd()
+				if !ok {
+					t.Fatalf("seek %d: replay did not reproduce the run", target)
+				}
+				assertEventsMatch(t, "suffix", view.Trace.Events, plain.Full[q:])
+			}
+
+			// Boundary state parity: the machine paused exactly at a
+			// boundary equals the boundary snapshot.
+			q := seqs[len(seqs)-1]
+			cp, err := st.BestSnapshot(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := replay.SeekStore(s, st, q, replay.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sess.Machine.Snapshot(vm.NoRunningThread)
+			if err := got.EqualState(cp); err != nil {
+				t.Fatalf("state at boundary %d differs from snapshot: %v", q, err)
+			}
+			sess.Close()
+		})
+	}
+}
+
+// TestFlightSegmentedWorkerInvariance: segmented replay over a spill
+// directory validates, and its result is deep-equal for every worker
+// count.
+func TestFlightSegmentedWorkerInvariance(t *testing.T) {
+	for _, s := range flightScenarios(t) {
+		t.Run(s.Name, func(t *testing.T) {
+			plain := plainRecording(t, s)
+			interval := uint64(len(plain.Full)) / 5
+			if interval < 4 {
+				interval = 4
+			}
+			res := flightRecord(t, s, flightrec.Options{Interval: interval})
+			st := res.Store
+
+			type fingerprint struct {
+				Ok        bool
+				Segments  int
+				Mismatch  int64
+				WorkSteps uint64
+				Events    []trace.Event
+			}
+			var base *fingerprint
+			for _, workers := range []int{1, 2, 4} {
+				sr, err := replay.SegmentedStore(s, st, replay.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !sr.Ok || sr.Mismatch != -1 {
+					t.Fatalf("workers=%d: Ok=%v Mismatch=%d", workers, sr.Ok, sr.Mismatch)
+				}
+				fp := &fingerprint{sr.Ok, sr.Segments, sr.Mismatch, sr.WorkSteps, sr.View.Trace.Events}
+				if base == nil {
+					base = fp
+					assertEventsMatch(t, "stitched", fp.Events, plain.Full)
+					continue
+				}
+				if !reflect.DeepEqual(fp, base) {
+					t.Fatalf("workers=%d: result differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFlightDegenerateLayouts pins the two degenerate segment layouts:
+// a run shorter than one interval (single segment, no snapshots — seek
+// falls back to replay-from-start) and a single-checkpoint run (two
+// segments, one snapshot).
+func TestFlightDegenerateLayouts(t *testing.T) {
+	s := workload.Bank()
+	plain := plainRecording(t, s)
+	n := uint64(len(plain.Full))
+
+	t.Run("checkpoint-free", func(t *testing.T) {
+		res := flightRecord(t, s, flightrec.Options{Interval: 2 * n})
+		st := res.Store
+		if got := st.Segments(); len(got) != 1 || got[0].From != 0 || got[0].To != n {
+			t.Fatalf("segments %+v, want one [0, %d)", got, n)
+		}
+		if seqs := st.SnapshotSeqs(); len(seqs) != 0 {
+			t.Fatalf("snapshots %v, want none", seqs)
+		}
+		sess, err := replay.SeekStore(s, st, n/2, replay.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.FromCheckpoint {
+			t.Fatal("checkpoint-free store seeked from a checkpoint")
+		}
+		if sess.Pos() != n/2 {
+			t.Fatalf("positioned at %d, want %d", sess.Pos(), n/2)
+		}
+		view, ok := sess.RunToEnd()
+		if !ok {
+			t.Fatal("fallback replay did not reproduce the run")
+		}
+		assertEventsMatch(t, "fallback", view.Trace.Events, plain.Full)
+
+		sr, err := replay.SegmentedStore(s, st, replay.Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Ok || sr.Segments != 1 {
+			t.Fatalf("segmented: Ok=%v Segments=%d", sr.Ok, sr.Segments)
+		}
+	})
+
+	t.Run("single-checkpoint", func(t *testing.T) {
+		interval := n - 2
+		res := flightRecord(t, s, flightrec.Options{Interval: interval})
+		st := res.Store
+		if got := st.Segments(); len(got) != 2 {
+			t.Fatalf("%d segments, want 2", len(got))
+		}
+		seqs := st.SnapshotSeqs()
+		if len(seqs) != 1 || seqs[0] != interval {
+			t.Fatalf("snapshots %v, want [%d]", seqs, interval)
+		}
+		// Before the lone boundary: falls back to the start.
+		sess, err := replay.SeekStore(s, st, interval-1, replay.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.FromCheckpoint {
+			t.Fatal("target before the only checkpoint restored from it")
+		}
+		sess.Close()
+		// At and past it: restores.
+		sess, err = replay.SeekStore(s, st, interval, replay.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sess.FromCheckpoint || sess.SuffixFrom != interval {
+			t.Fatalf("FromCheckpoint=%v SuffixFrom=%d, want restore at %d", sess.FromCheckpoint, sess.SuffixFrom, interval)
+		}
+		view, ok := sess.RunToEnd()
+		if !ok {
+			t.Fatal("replay did not reproduce the run")
+		}
+		assertEventsMatch(t, "tail", view.Trace.Events, plain.Full[interval:])
+	})
+}
+
+// TestFlightRetention: with a retention cap old segments are evicted from
+// disk, yet the retained tail stays seekable and pre-tail targets still
+// work via the never-truncated feed log.
+func TestFlightRetention(t *testing.T) {
+	stale, err := workload.ByName("dynokv-staleread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := plainRecording(t, stale)
+	n := uint64(len(plain.Full))
+	interval := n / 10
+	if interval < 4 {
+		interval = 4
+	}
+	res := flightRecord(t, stale, flightrec.Options{Interval: interval, RingSegments: 1, Retention: 3})
+	st := res.Store
+
+	if res.Evicted == 0 {
+		t.Fatalf("retention 3 over %d segments evicted nothing", res.Segments)
+	}
+	if got := len(st.Segments()); got > 3 {
+		t.Fatalf("store retains %d segments, cap is 3", got)
+	}
+	lo, hi := flightrec.Retained(st)
+	if lo == 0 || hi != n {
+		t.Fatalf("retained [%d, %d), want a proper tail ending at %d", lo, hi, n)
+	}
+
+	// The retained tail seeks from its boundary snapshots.
+	sess, err := replay.SeekStore(stale, st, hi-1, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.FromCheckpoint || sess.SuffixFrom < lo {
+		t.Fatalf("tail seek: FromCheckpoint=%v SuffixFrom=%d, retained from %d", sess.FromCheckpoint, sess.SuffixFrom, lo)
+	}
+	view, ok := sess.RunToEnd()
+	if !ok {
+		t.Fatal("tail replay did not reproduce the run")
+	}
+	assertEventsMatch(t, "tail suffix", view.Trace.Events, plain.Full[sess.SuffixFrom:])
+
+	// A pre-tail target falls back to the feed log: full replay from 0.
+	sess, err = replay.SeekStore(stale, st, lo/2, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.FromCheckpoint {
+		t.Fatal("evicted-range target restored from a checkpoint")
+	}
+	if sess.Pos() != lo/2 {
+		t.Fatalf("positioned at %d, want %d", sess.Pos(), lo/2)
+	}
+	view, ok = sess.RunToEnd()
+	if !ok {
+		t.Fatal("pre-tail replay did not reproduce the run")
+	}
+	assertEventsMatch(t, "pre-tail", view.Trace.Events, plain.Full)
+
+	// Segmented replay validates the retained tail, worker-invariant.
+	var ref *replay.SegmentedResult
+	for _, workers := range []int{1, 4} {
+		sr, err := replay.SegmentedStore(stale, st, replay.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !sr.Ok || sr.Mismatch != -1 {
+			t.Fatalf("workers=%d: Ok=%v Mismatch=%d", workers, sr.Ok, sr.Mismatch)
+		}
+		if ref == nil {
+			ref = sr
+			assertEventsMatch(t, "stitched tail", sr.View.Trace.Events, plain.Full[lo:])
+			continue
+		}
+		if !reflect.DeepEqual(sr.View.Trace.Events, ref.View.Trace.Events) ||
+			sr.Segments != ref.Segments || sr.WorkSteps != ref.WorkSteps {
+			t.Fatalf("workers=%d: result differs from workers=1", workers)
+		}
+	}
+
+	// EventRange outside the retained tail must refuse, not fabricate.
+	if _, err := flightrec.EventRange(st, 0, lo+1); err == nil {
+		t.Fatal("EventRange over the evicted prefix succeeded")
+	}
+}
+
+// TestStoreDebugger drives the interactive session over a spill directory:
+// cursor navigation across checkpoints, event inspection inside the
+// retained range, and clamping outside it.
+func TestStoreDebugger(t *testing.T) {
+	s := workload.Bank()
+	plain := plainRecording(t, s)
+	n := uint64(len(plain.Full))
+	interval := n / 4
+	if interval < 4 {
+		interval = 4
+	}
+	res := flightRecord(t, s, flightrec.Options{Interval: interval})
+	st := res.Store
+
+	d, err := replay.NewStoreDebugger(s, st, replay.DebugOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Len() != n {
+		t.Fatalf("Len %d, want %d", d.Len(), n)
+	}
+	if !reflect.DeepEqual(d.Checkpoints(), st.SnapshotSeqs()) {
+		t.Fatalf("Checkpoints %v, store has %v", d.Checkpoints(), st.SnapshotSeqs())
+	}
+	for _, target := range []uint64{0, 1, interval - 1, interval, interval + 2, n / 2, n - 1, n} {
+		if err := d.SeekTo(target); err != nil {
+			t.Fatalf("SeekTo %d: %v", target, err)
+		}
+		if d.Pos() != target {
+			t.Fatalf("SeekTo %d: cursor at %d", target, d.Pos())
+		}
+		if target < n {
+			ev, ok := d.Event()
+			if !ok {
+				t.Fatalf("no event at %d", target)
+			}
+			if !replay.EventsMatch(&ev, &plain.Full[target]) {
+				t.Fatalf("event at %d differs from recording", target)
+			}
+		}
+	}
+	if err := d.Back(7); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pos() != n-7 {
+		t.Fatalf("Back(7) landed at %d, want %d", d.Pos(), n-7)
+	}
+	evs := d.Events(0, n)
+	assertEventsMatch(t, "debugger window", evs, plain.Full)
+}
+
+// TestOpenRejectsMissing: opening a directory with no manifest (or none at
+// all) errors instead of inventing an empty store.
+func TestOpenRejectsMissing(t *testing.T) {
+	if _, err := flightrec.Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open on a nonexistent directory succeeded")
+	}
+	if _, err := flightrec.Open(t.TempDir()); err == nil {
+		t.Fatal("Open on an empty directory succeeded")
+	}
+}

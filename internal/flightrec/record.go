@@ -1,0 +1,79 @@
+package flightrec
+
+import (
+	"debugdet/internal/scenario"
+	"debugdet/internal/vm"
+)
+
+// RecordResult is the outcome of one flight-recorded run: the opened
+// disk-backed store plus the recorder's accounting. Unlike a monolithic
+// Recording, the run's data lives in the spill directory; the result
+// carries only bounded state.
+type RecordResult struct {
+	// Store is the spill directory, opened for replay.
+	Store *DiskStore
+	// View is the finished run (no oracle trace: streaming recording
+	// runs with trace collection off, that is the point).
+	View *scenario.RunView
+	// Events is the total number of events recorded.
+	Events uint64
+	// LogBytes is the recorded event volume, priced exactly as the
+	// stock full-level recorder prices it.
+	LogBytes int64
+	// CheckpointBytes is the encoded volume of the boundary snapshots.
+	CheckpointBytes int64
+	// FeedBytes is the feed log's on-disk size.
+	FeedBytes int64
+	// PeakMemBytes is the recorder's in-memory high-water mark — the
+	// measured O(ring) bound.
+	PeakMemBytes int64
+	// Segments, Spilled and Evicted count the sealed segments, how many
+	// reached disk, and how many retention deleted again.
+	Segments, Spilled, Evicted int
+	// Failed and FailureSig are the run's terminal condition.
+	Failed     bool
+	FailureSig string
+}
+
+// Record runs one execution of s under the perfect determinism model with
+// the flight recorder attached, then finalizes and reopens the spill
+// directory. Trace collection is disabled — the event stream goes to the
+// segment ring and feed log instead of an unbounded in-memory log — so
+// the run's memory is O(ring) regardless of length.
+func Record(s *scenario.Scenario, seed int64, params scenario.Params, o Options) (*RecordResult, error) {
+	p := s.DefaultParams.Clone(params)
+	m := vm.New(vm.Config{
+		Seed:   seed,
+		Inputs: s.Inputs(seed, p),
+	})
+	main := s.Build(m, p)
+	rec, err := NewRecorder(m, s.Name, seed, p, o)
+	if err != nil {
+		return nil, err
+	}
+	m.Attach(rec)
+	res := m.Run(main)
+	view := &scenario.RunView{Machine: m, Result: res}
+	failed, sig := s.CheckFailure(view)
+	if err := rec.Finalize(failed, sig); err != nil {
+		return nil, err
+	}
+	store, err := Open(o.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordResult{
+		Store:           store,
+		View:            view,
+		Events:          rec.Events(),
+		LogBytes:        rec.Bytes(),
+		CheckpointBytes: rec.CheckpointBytes(),
+		FeedBytes:       rec.FeedBytes(),
+		PeakMemBytes:    rec.PeakMemBytes(),
+		Segments:        rec.Segments(),
+		Spilled:         rec.Spilled(),
+		Evicted:         rec.Evicted(),
+		Failed:          failed,
+		FailureSig:      sig,
+	}, nil
+}

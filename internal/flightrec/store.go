@@ -1,0 +1,176 @@
+package flightrec
+
+import (
+	"fmt"
+
+	"debugdet/internal/checkpoint"
+	"debugdet/internal/record"
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+// Meta is the run identity a segment store carries: what was recorded,
+// under which determinism model, and how the run ended. It is the
+// information replay needs before touching any event data.
+type Meta struct {
+	Scenario string
+	Model    record.Model
+	Seed     int64
+	Params   scenario.Params
+	// Streams maps stream object IDs to names (index = ObjID), as in
+	// Recording.Streams.
+	Streams []string
+	// SchedComplete reports whether the store's schedule covers every
+	// event of the run (required for seek and segmented replay).
+	SchedComplete bool
+	// Failed and FailureSig are the run's terminal condition per the
+	// scenario's failure specification.
+	Failed     bool
+	FailureSig string
+	// EventCount is the total number of events the run applied —
+	// including events whose segments have been evicted from disk.
+	EventCount uint64
+	// Interval is the checkpoint/rotation interval the store was
+	// recorded with (0 when the source recording had no checkpoints).
+	Interval uint64
+}
+
+// SegmentInfo describes one checkpoint-delimited segment.
+type SegmentInfo struct {
+	// Index is the segment's rotation number within the whole run. For a
+	// store under retention the first retained segment's Index is > 0.
+	Index int
+	// From and To delimit the segment's event range [From, To). A
+	// segment with From > 0 begins at its boundary snapshot's Seq.
+	From, To uint64
+	// Bytes is the encoded size of the segment (0 when unknown, e.g. for
+	// the in-memory recording adapter).
+	Bytes int64
+	// File is the spill file name, relative to the store directory
+	// ("" for in-memory segments).
+	File string
+}
+
+// Events returns the number of events in the segment.
+func (si SegmentInfo) Events() uint64 { return si.To - si.From }
+
+// Store is the segment-store contract replay consumes in place of a
+// monolithic *record.Recording: run identity, the retained segments and
+// their events, the boundary snapshots with everything vm.Restore needs
+// (feeds, schedule suffix, inputs). Implementations must be safe for
+// concurrent readers — segmented replay shares one store across workers.
+type Store interface {
+	// Meta returns the run identity.
+	Meta() Meta
+	// Segments returns the retained segments in event order. Their
+	// ranges are contiguous; the last segment's To equals the retained
+	// horizon (Meta().EventCount for a complete store).
+	Segments() []SegmentInfo
+	// Events returns the events of segment i (an index into Segments()).
+	// The slice is read-only shared state: callers must not mutate it.
+	Events(i int) ([]trace.Event, error)
+	// BestSnapshot returns the latest boundary snapshot with Seq ≤
+	// target, or nil when none qualifies (the caller replays from the
+	// start). Snapshots are returned restore-ready: stream histories
+	// rehydrated.
+	BestSnapshot(target uint64) (*vm.Snapshot, error)
+	// SnapshotSeqs lists the sequence numbers of the available boundary
+	// snapshots, ascending.
+	SnapshotSeqs() []uint64
+	// Feeds returns the per-thread operation outcomes of the first
+	// snap.Seq events — the vm.Restore feed input for a snapshot
+	// obtained from this store. The returned slices are read-only.
+	Feeds(snap *vm.Snapshot) ([][]vm.FeedEntry, error)
+	// Sched returns the schedule stream from event `from` on (nil when
+	// from is at or past the end). The slice is read-only.
+	Sched(from uint64) ([]trace.ThreadID, error)
+	// Inputs returns the recorded per-stream input source, for replays
+	// to re-obtain every environment value the run consumed.
+	Inputs() (vm.InputSource, error)
+}
+
+// Retained returns the contiguous event range [lo, hi) covered by the
+// store's segments. An empty store returns (0, 0).
+func Retained(st Store) (lo, hi uint64) {
+	segs := st.Segments()
+	if len(segs) == 0 {
+		return 0, 0
+	}
+	return segs[0].From, segs[len(segs)-1].To
+}
+
+// EventRange collects the recorded events in [lo, hi) from the store's
+// retained segments into a fresh slice. It returns an error when the
+// range is not fully retained.
+func EventRange(st Store, lo, hi uint64) ([]trace.Event, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("flightrec: bad event range [%d, %d)", lo, hi)
+	}
+	if lo == hi {
+		return nil, nil
+	}
+	rlo, rhi := Retained(st)
+	if lo < rlo || hi > rhi {
+		return nil, fmt.Errorf("flightrec: events [%d, %d) not retained (store holds [%d, %d))", lo, hi, rlo, rhi)
+	}
+	out := make([]trace.Event, 0, hi-lo)
+	for i, si := range st.Segments() {
+		if si.To <= lo || si.From >= hi {
+			continue
+		}
+		evs, err := st.Events(i)
+		if err != nil {
+			return nil, err
+		}
+		a, b := uint64(0), uint64(len(evs))
+		if lo > si.From {
+			a = lo - si.From
+		}
+		if hi < si.To {
+			b = hi - si.From
+		}
+		out = append(out, evs[a:b]...)
+	}
+	return out, nil
+}
+
+// snapOverlay decorates a store with externally materialized snapshots —
+// how the debugger retrofits checkpoints onto a checkpoint-free store
+// after replaying it once with a checkpoint writer attached. Feeds are
+// derived from the store's own retained events, so the overlay only works
+// when the store retains the full prefix of every overlay snapshot (true
+// for checkpoint-free stores, which hold one segment from 0).
+type snapOverlay struct {
+	Store
+	snaps []*vm.Snapshot
+}
+
+// WithSnapshots returns a view of st whose snapshots are snaps (in trace
+// order), replacing whatever snapshots st itself offers.
+func WithSnapshots(st Store, snaps []*vm.Snapshot) Store {
+	return &snapOverlay{Store: st, snaps: snaps}
+}
+
+// BestSnapshot implements Store over the overlay snapshots.
+func (o *snapOverlay) BestSnapshot(target uint64) (*vm.Snapshot, error) {
+	return checkpoint.Best(o.snaps, target), nil
+}
+
+// SnapshotSeqs implements Store over the overlay snapshots.
+func (o *snapOverlay) SnapshotSeqs() []uint64 {
+	seqs := make([]uint64, len(o.snaps))
+	for i, s := range o.snaps {
+		seqs[i] = s.Seq
+	}
+	return seqs
+}
+
+// Feeds implements Store by deriving feeds from the retained events.
+func (o *snapOverlay) Feeds(snap *vm.Snapshot) ([][]vm.FeedEntry, error) {
+	events, err := EventRange(o.Store, 0, snap.Seq)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Feeds(events, snap.Seq, len(snap.Threads))
+}

@@ -3,6 +3,7 @@ package progen
 import (
 	"testing"
 
+	"debugdet/internal/flightrec"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
@@ -40,6 +41,42 @@ func FuzzProgramGeneration(f *testing.F) {
 		}
 		if failed, sig := p.Scenario.CheckFailure(a); failed && sig == "" {
 			t.Fatalf("seed %d: failure without a signature", seed)
+		}
+	})
+}
+
+// FuzzSustainedFlightRecording drives the sustained long-running template
+// through the flight recorder from fuzzer-provided generator seeds: every
+// generated traffic shape must rotate segments past a small ring, spill
+// to disk, keep recorder memory far below the event volume, and reopen
+// with the whole run retained and the event count intact.
+func FuzzSustainedFlightRecording(f *testing.F) {
+	f.Add(int64(sustainedGen))
+	for s := int64(0); s < 4; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		g := Normalize(seed)
+		s := Sustained()
+		res, err := flightrec.Record(s, s.DefaultSeed, scenario.Params{"gen": g}, flightrec.Options{
+			RingSegments: 2,
+			SpillDir:     t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("gen %d: %v", g, err)
+		}
+		if res.Segments < 10 || res.Spilled < res.Segments-2 {
+			t.Fatalf("gen %d: %d segments, %d spilled; sustained traffic must rotate and spill",
+				g, res.Segments, res.Spilled)
+		}
+		if res.PeakMemBytes >= res.LogBytes/4 {
+			t.Fatalf("gen %d: peak recorder memory %d vs %d event bytes; ring bound is broken",
+				g, res.PeakMemBytes, res.LogBytes)
+		}
+		lo, hi := flightrec.Retained(res.Store)
+		if lo != 0 || hi != res.Events || res.Store.Meta().EventCount != res.Events {
+			t.Fatalf("gen %d: reopened store covers [%d, %d) of %d events",
+				g, lo, hi, res.Events)
 		}
 	})
 }

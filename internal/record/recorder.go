@@ -42,6 +42,12 @@ func (p PolicyFunc) Level(e *trace.Event) Level { return p.F(e) }
 // kind, thread, site, object, sequence delta and payload.
 func fullEventBytes(e *trace.Event) int { return 10 + e.Val.Size() }
 
+// FullEventBytes is the serialized-size estimate of one fully recorded
+// event — the unit both the stock full-level recorder and the flight
+// recorder charge against the cost model, so the two record paths price
+// identically and share one virtual schedule.
+func FullEventBytes(e *trace.Event) int { return fullEventBytes(e) }
+
 // Recorder persists an execution's events according to a policy. It
 // implements vm.Observer; attach it to the machine before Run.
 type Recorder struct {

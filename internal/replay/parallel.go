@@ -5,20 +5,20 @@ import (
 	"runtime"
 	"sync"
 
-	"debugdet/internal/checkpoint"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
 )
 
-// Segmented parallel replay (DESIGN.md §5): the recording's checkpoints
-// split the trace into segments that replay — and validate against the
-// recorded events — concurrently, each worker restoring its segment's
-// checkpoint and replaying one interval. The result obeys a sequential
+// Segmented parallel replay (DESIGN.md §5): the store's checkpoints split
+// the trace into segments that replay — and validate against the recorded
+// events — concurrently, each worker restoring its segment's boundary
+// snapshot and replaying one interval. The result obeys a sequential
 // equivalence contract like the inference and evaluation pools: the
 // stitched trace, the final state and the validation verdict are
-// deep-equal for every worker count, because segments share nothing and
-// the stitching is positional.
+// deep-equal for every worker count, because segments share nothing
+// mutable and the stitching is positional.
 
 // SegmentedResult is a finished segmented replay.
 type SegmentedResult struct {
@@ -47,7 +47,17 @@ type SegmentedResult struct {
 // (ErrSeekUnsupported otherwise): segmentation needs the complete event
 // stream both to restore from and to validate against.
 func Segmented(s *scenario.Scenario, rec *record.Recording, o Options) (*SegmentedResult, error) {
-	if rec.Model != record.Perfect || !rec.SchedComplete {
+	return SegmentedStore(s, flightrec.NewRecordingStore(rec), o)
+}
+
+// SegmentedStore is Segmented over a segment store. For a flight
+// recorder's spill directory it replays and validates the retained tail:
+// the first retained segment restores from its boundary snapshot (or
+// from the start, when segment 0 is still retained) and the last one
+// runs to the end of the execution.
+func SegmentedStore(s *scenario.Scenario, st flightrec.Store, o Options) (*SegmentedResult, error) {
+	meta := st.Meta()
+	if meta.Model != record.Perfect || !meta.SchedComplete {
 		return nil, ErrSeekUnsupported
 	}
 	workers := o.Workers
@@ -55,22 +65,10 @@ func Segmented(s *scenario.Scenario, rec *record.Recording, o Options) (*Segment
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Segment boundaries: the start of the trace plus every checkpoint.
-	bounds := []uint64{0}
-	for _, cp := range rec.Checkpoints {
-		if cp.Seq > 0 && cp.Seq < uint64(len(rec.Full)) {
-			bounds = append(bounds, cp.Seq)
-		}
-	}
-	n := len(bounds)
-
-	// Shared read-only state for every segment: one recorded-input map and
-	// one feed derivation, sliced per checkpoint, instead of per-segment
-	// rebuilds — the non-replay work stays linear in the trace.
-	inputs := recordedInputs(rec)
-	plan, err := checkpoint.PlanFeeds(rec.Full, rec.Checkpoints)
-	if err != nil {
-		return nil, err
+	infos := st.Segments()
+	n := len(infos)
+	if n == 0 {
+		return nil, fmt.Errorf("replay: segmented: store retains no segments")
 	}
 
 	type segment struct {
@@ -82,12 +80,12 @@ func Segmented(s *scenario.Scenario, rec *record.Recording, o Options) (*Segment
 	segs := make([]segment, n)
 
 	runSegment := func(i int) {
-		from := bounds[i]
+		from := infos[i].From
 		var to uint64 // 0 = run to completion (the final segment)
 		if i+1 < n {
-			to = bounds[i+1]
+			to = infos[i+1].From
 		}
-		sess, err := seek(s, rec, from, o, inputs, plan)
+		sess, err := SeekStore(s, st, from, o)
 		if err != nil {
 			segs[i].err = fmt.Errorf("segment %d at %d: %w", i, from, err)
 			return
@@ -132,7 +130,7 @@ func Segmented(s *scenario.Scenario, rec *record.Recording, o Options) (*Segment
 	}
 
 	// Sequential-equivalence: surface the lowest-index error, stitch in
-	// order, validate positionally.
+	// order, validate positionally against the stored events.
 	for i := range segs {
 		if segs[i].err != nil {
 			return nil, segs[i].err
@@ -147,16 +145,13 @@ func Segmented(s *scenario.Scenario, rec *record.Recording, o Options) (*Segment
 		stitched.Events = append(stitched.Events, segs[i].events...)
 	}
 	res.Ok = final.ok
-	for i := range stitched.Events {
-		if i >= len(rec.Full) || !EventsMatch(&stitched.Events[i], &rec.Full[i]) {
-			res.Ok = false
-			res.Mismatch = int64(stitched.Events[i].Seq)
-			break
-		}
+	mismatch, err := validateStitched(st, infos, stitched.Events, infos[0].From)
+	if err != nil {
+		return nil, err
 	}
-	if res.Ok && len(stitched.Events) != len(rec.Full) {
+	if mismatch >= 0 {
 		res.Ok = false
-		res.Mismatch = int64(len(stitched.Events))
+		res.Mismatch = mismatch
 	}
 
 	// The final segment's machine carries the complete final state
@@ -166,6 +161,35 @@ func Segmented(s *scenario.Scenario, rec *record.Recording, o Options) (*Segment
 	finalRes.Trace = stitched
 	res.View = &scenario.RunView{Machine: final.view.Machine, Result: &finalRes, Trace: stitched}
 	return res, nil
+}
+
+// validateStitched compares the stitched replay positionally against the
+// store's events, segment by segment (avoiding a concatenated copy of the
+// reference stream). It returns the sequence number at which the replay
+// first differs from the store — a differing event, a replay that ended
+// early, or one that ran past the stored horizon — or -1 when the replay
+// reproduces the stored stream exactly.
+func validateStitched(st flightrec.Store, infos []flightrec.SegmentInfo, stitched []trace.Event, base uint64) (int64, error) {
+	pos := 0
+	for i := range infos {
+		evs, err := st.Events(i)
+		if err != nil {
+			return 0, err
+		}
+		for j := range evs {
+			if pos >= len(stitched) {
+				return int64(base) + int64(pos), nil // replay ended early
+			}
+			if !EventsMatch(&stitched[pos], &evs[j]) {
+				return int64(stitched[pos].Seq), nil
+			}
+			pos++
+		}
+	}
+	if pos < len(stitched) {
+		return int64(base) + int64(pos), nil // replay ran past the horizon
+	}
+	return -1, nil
 }
 
 // EventsMatch is logical event identity: every field including the value

@@ -240,8 +240,15 @@ func replayFailure(s *scenario.Scenario, rec *record.Recording, o Options) *Resu
 // the recording's: both failed with the same signature, or both finished
 // clean.
 func replayMatchesTerminal(s *scenario.Scenario, rec *record.Recording, v *scenario.RunView) bool {
-	failed, sig := s.CheckFailure(v)
-	return failed == rec.Failed && sig == rec.FailureSig
+	return matchesTerminal(s, rec.Failed, rec.FailureSig, v)
+}
+
+// matchesTerminal is replayMatchesTerminal against a bare terminal
+// identity (shared with the store-backed seek, whose source may be a
+// spill directory rather than a Recording).
+func matchesTerminal(s *scenario.Scenario, failed bool, sig string, v *scenario.RunView) bool {
+	gotFailed, gotSig := s.CheckFailure(v)
+	return gotFailed == failed && gotSig == sig
 }
 
 // outputsMatch compares per-stream output sequences, resolving the

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"debugdet/internal/checkpoint"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
 	"debugdet/internal/vm"
@@ -18,6 +18,11 @@ import (
 // schedule. The suffix trace a seeked replay produces is bit-identical to
 // the corresponding slice of a full sequential replay; the seek
 // equivalence tests pin that for every corpus scenario.
+//
+// Seek operates over the flightrec.Store interface, so it works the same
+// on an in-memory recording (via flightrec.NewRecordingStore) and on a
+// flight recorder's spill directory (flightrec.Open) — SeekStore is the
+// store-backed entry point, Seek the recording-shaped convenience.
 
 // ErrSeekUnsupported reports a recording that checkpointed seek cannot
 // operate on: seek needs the complete schedule and every event value,
@@ -29,8 +34,8 @@ var ErrSeekUnsupported = errors.New("replay: seek requires a perfect recording w
 // streams); Continue steps it forward, RunToEnd completes the execution
 // and Close abandons it. Sessions are not safe for concurrent use.
 type SeekSession struct {
-	s   *scenario.Scenario
-	rec *record.Recording
+	s    *scenario.Scenario
+	meta flightrec.Meta
 
 	// Machine is the paused replay machine. Its trace collects events
 	// from SuffixFrom onward.
@@ -50,23 +55,23 @@ type SeekSession struct {
 }
 
 // replayConfig assembles the machine configuration every replay machine
-// of a perfect recording shares, with the schedule stream positioned at
-// schedFrom. inputs may be a shared, pre-built source (segmented replay
-// restores many machines of one recording; the recorded-input map is
-// immutable and safe to share) or nil to build one.
-func replayConfig(s *scenario.Scenario, rec *record.Recording, o Options, schedFrom uint64, inputs vm.InputSource) (vm.Config, func(*vm.Machine) func(*vm.Thread)) {
-	p := s.DefaultParams.Clone(rec.Params)
-	sched := rec.Sched
-	if schedFrom < uint64(len(sched)) {
-		sched = sched[schedFrom:]
-	} else {
-		sched = nil
+// of a perfect store shares: the forced schedule suffix, the recorded
+// inputs, and the scenario build parameterized as recorded. Both shared
+// pieces come from the store, which caches them — segmented replay
+// restores many machines of one store, and the recorded-input map and
+// schedule are immutable and safe to share.
+func replayConfig(s *scenario.Scenario, st flightrec.Store, meta flightrec.Meta, o Options, schedFrom uint64) (vm.Config, func(*vm.Machine) func(*vm.Thread), error) {
+	p := s.DefaultParams.Clone(meta.Params)
+	sched, err := st.Sched(schedFrom)
+	if err != nil {
+		return vm.Config{}, nil, err
 	}
-	if inputs == nil {
-		inputs = recordedInputs(rec)
+	inputs, err := st.Inputs()
+	if err != nil {
+		return vm.Config{}, nil, err
 	}
 	cfg := vm.Config{
-		Seed:         rec.Seed,
+		Seed:         meta.Seed,
 		Scheduler:    vm.NewReplayScheduler(sched),
 		Inputs:       inputs,
 		MaxSteps:     o.MaxSteps,
@@ -76,7 +81,7 @@ func replayConfig(s *scenario.Scenario, rec *record.Recording, o Options, schedF
 	setup := func(m *vm.Machine) func(*vm.Thread) {
 		return s.Build(m, p)
 	}
-	return cfg, setup
+	return cfg, setup, nil
 }
 
 // recordedInputs builds the forced input source of a perfect recording.
@@ -91,28 +96,33 @@ func recordedInputs(rec *record.Recording) vm.InputSource {
 // start — same session, full-prefix cost. Targets beyond the end of the
 // recording position at the end.
 func Seek(s *scenario.Scenario, rec *record.Recording, target uint64, o Options) (*SeekSession, error) {
-	return seek(s, rec, target, o, nil, nil)
+	return SeekStore(s, flightrec.NewRecordingStore(rec), target, o)
 }
 
-// seek implements Seek; inputs and plan may be shared pre-built state
-// (see Segmented) or nil.
-func seek(s *scenario.Scenario, rec *record.Recording, target uint64, o Options, inputs vm.InputSource, plan *checkpoint.FeedPlan) (*SeekSession, error) {
-	if rec.Model != record.Perfect || !rec.SchedComplete {
+// SeekStore opens a seek session over a segment store — an in-memory
+// recording adapter or a flight recorder's spill directory. For a spill
+// directory under retention, any target at or past the first retained
+// boundary snapshot restores as usual; earlier targets fall back to a
+// full replay from the start, which the store's feed log always supports.
+func SeekStore(s *scenario.Scenario, st flightrec.Store, target uint64, o Options) (*SeekSession, error) {
+	meta := st.Meta()
+	if meta.Model != record.Perfect || !meta.SchedComplete {
 		return nil, ErrSeekUnsupported
 	}
-	sess := &SeekSession{s: s, rec: rec}
-	if cp := checkpoint.Best(rec.Checkpoints, target); cp != nil {
-		var feeds [][]vm.FeedEntry
-		var err error
-		if plan != nil {
-			feeds, err = plan.At(cp)
-		} else {
-			feeds, err = checkpoint.Feeds(rec.Full, cp.Seq, len(cp.Threads))
-		}
+	sess := &SeekSession{s: s, meta: meta}
+	cp, err := st.BestSnapshot(target)
+	if err != nil {
+		return nil, err
+	}
+	if cp != nil {
+		feeds, err := st.Feeds(cp)
 		if err != nil {
 			return nil, err
 		}
-		cfg, setup := replayConfig(s, rec, o, cp.SchedPos, inputs)
+		cfg, setup, err := replayConfig(s, st, meta, o, cp.SchedPos)
+		if err != nil {
+			return nil, err
+		}
 		m, err := vm.Restore(cfg, setup, cp, feeds)
 		if err != nil {
 			return nil, fmt.Errorf("replay: seek restore at %d: %w", cp.Seq, err)
@@ -121,7 +131,10 @@ func seek(s *scenario.Scenario, rec *record.Recording, target uint64, o Options,
 		sess.SuffixFrom = cp.Seq
 		sess.FromCheckpoint = true
 	} else {
-		cfg, setup := replayConfig(s, rec, o, 0, inputs)
+		cfg, setup, err := replayConfig(s, st, meta, o, 0)
+		if err != nil {
+			return nil, err
+		}
 		m := vm.New(cfg)
 		main := setup(m)
 		m.Start(main)
@@ -167,7 +180,7 @@ func (k *SeekSession) RunToEnd() (view *scenario.RunView, ok bool) {
 	k.ReplaySteps += k.Machine.Seq() - before
 	res := k.Machine.Finish()
 	k.view = &scenario.RunView{Machine: k.Machine, Result: res, Trace: res.Trace}
-	k.ok = res.Outcome != vm.OutcomeDiverged && replayMatchesTerminal(k.s, k.rec, k.view)
+	k.ok = res.Outcome != vm.OutcomeDiverged && matchesTerminal(k.s, k.meta.Failed, k.meta.FailureSig, k.view)
 	return k.view, k.ok
 }
 

@@ -4,34 +4,36 @@ import (
 	"fmt"
 
 	"debugdet/internal/checkpoint"
+	"debugdet/internal/flightrec"
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
 )
 
-// Debugger is an interactive time-travel session over one recording: a
-// cursor into the recorded execution that can step forward, seek to an
-// arbitrary event, step backward (seek re-executes from the nearest
-// checkpoint, so "back" is cheap), and inspect the machine state at the
-// cursor — threads, cells, locks, channels, streams.
+// Debugger is an interactive time-travel session over one recording or
+// flight-recorder store: a cursor into the recorded execution that can
+// step forward, seek to an arbitrary event, step backward (seek
+// re-executes from the nearest checkpoint, so "back" is cheap), and
+// inspect the machine state at the cursor — threads, cells, locks,
+// channels, streams.
 //
-// Recordings that carry checkpoints use them directly; recordings without
+// Stores that carry boundary snapshots use them directly; stores without
 // (older files, or runs recorded with checkpointing off) get in-memory
 // checkpoints materialized by one initial full replay, so interactive
-// navigation is fast either way. Only perfect-model recordings are
+// navigation is fast either way. Only perfect-model sources are
 // debuggable: time travel needs the complete event stream.
 //
 // A Debugger is not safe for concurrent use. Close it to release the
 // current replay machine.
 type Debugger struct {
-	s   *scenario.Scenario
-	rec *record.Recording
-	o   Options
+	s  *scenario.Scenario
+	st flightrec.Store
+	o  Options
 
-	cps  []*vm.Snapshot
-	sess *SeekSession
-	end  uint64
+	cpSeqs []uint64
+	sess   *SeekSession
+	end    uint64
 }
 
 // DebugOptions configures a debug session.
@@ -46,22 +48,36 @@ type DebugOptions struct {
 	Workers int
 }
 
-// NewDebugger opens a time-travel session positioned at event 0.
+// NewDebugger opens a time-travel session over a recording, positioned at
+// event 0.
 func NewDebugger(s *scenario.Scenario, rec *record.Recording, o DebugOptions) (*Debugger, error) {
-	if rec.Model != record.Perfect || !rec.SchedComplete {
+	return NewStoreDebugger(s, flightrec.NewRecordingStore(rec), o)
+}
+
+// NewStoreDebugger opens a time-travel session over a segment store,
+// positioned at event 0. Over a spill directory under retention the
+// cursor still spans the whole execution — positions before the retained
+// tail replay from the start via the feed log; Event/Events return data
+// only inside the retained range.
+func NewStoreDebugger(s *scenario.Scenario, st flightrec.Store, o DebugOptions) (*Debugger, error) {
+	meta := st.Meta()
+	if meta.Model != record.Perfect || !meta.SchedComplete {
 		return nil, ErrSeekUnsupported
 	}
 	d := &Debugger{
 		s:   s,
-		rec: rec,
+		st:  st,
 		o:   Options{MaxSteps: o.MaxSteps},
-		cps: rec.Checkpoints,
-		end: uint64(len(rec.Full)),
+		end: meta.EventCount,
 	}
-	if len(d.cps) == 0 {
+	if len(st.SnapshotSeqs()) == 0 {
 		// Materialize checkpoints with one full replay: attach a writer
-		// to a replay machine and drive it to completion.
-		cfg, setup := replayConfig(s, rec, d.o, 0, nil)
+		// to a replay machine and drive it to completion, then overlay
+		// the snapshots on the store.
+		cfg, setup, err := replayConfig(s, st, meta, d.o, 0)
+		if err != nil {
+			return nil, err
+		}
 		m := vm.New(cfg)
 		main := setup(m)
 		w := checkpoint.NewWriter(m, o.Interval)
@@ -72,8 +88,9 @@ func NewDebugger(s *scenario.Scenario, rec *record.Recording, o DebugOptions) (*
 		if res.Outcome == vm.OutcomeDiverged {
 			return nil, fmt.Errorf("replay: debug: recording diverges at %d", res.DivergedAt)
 		}
-		d.cps = w.Snapshots()
+		d.st = flightrec.WithSnapshots(st, w.Snapshots())
 	}
+	d.cpSeqs = d.st.SnapshotSeqs()
 	if err := d.SeekTo(0); err != nil {
 		return nil, err
 	}
@@ -122,7 +139,7 @@ func (d *Debugger) SeekTo(target uint64) error {
 		target = d.end
 	}
 	if d.sess != nil && target >= d.sess.Pos() {
-		if cp := checkpoint.Best(d.cps, target); cp == nil || cp.Seq <= d.sess.Pos() {
+		if cp, ok := bestSeq(d.cpSeqs, target); !ok || cp <= d.sess.Pos() {
 			d.sess.Continue(target)
 			return nil
 		}
@@ -131,15 +148,7 @@ func (d *Debugger) SeekTo(target uint64) error {
 		d.sess.Close()
 		d.sess = nil
 	}
-	rec := d.rec
-	if len(rec.Checkpoints) == 0 && len(d.cps) > 0 {
-		// Use the materialized checkpoints without mutating the caller's
-		// recording.
-		clone := *rec
-		clone.Checkpoints = d.cps
-		rec = &clone
-	}
-	sess, err := Seek(d.s, rec, target, d.o)
+	sess, err := SeekStore(d.s, d.st, target, d.o)
 	if err != nil {
 		return err
 	}
@@ -147,39 +156,59 @@ func (d *Debugger) SeekTo(target uint64) error {
 	return nil
 }
 
-// Event returns the recorded event at the cursor (the next event to
-// execute), or false at the end of the recording.
-func (d *Debugger) Event() (trace.Event, bool) {
-	pos := d.Pos()
-	if pos >= uint64(len(d.rec.Full)) {
-		return trace.Event{}, false
+// bestSeq returns the largest seq ≤ target, mirroring checkpoint.Best
+// over bare positions.
+func bestSeq(seqs []uint64, target uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	for _, q := range seqs {
+		if q <= target {
+			best, found = q, true
+		} else {
+			break
+		}
 	}
-	return d.rec.Full[pos], true
+	return best, found
 }
 
-// Events returns the recorded events in [lo, hi), clamped to the
-// recording.
-func (d *Debugger) Events(lo, hi uint64) []trace.Event {
-	n := uint64(len(d.rec.Full))
-	if lo > n {
-		lo = n
+// Event returns the recorded event at the cursor (the next event to
+// execute), or false at the end of the execution or outside the store's
+// retained range.
+func (d *Debugger) Event() (trace.Event, bool) {
+	pos := d.Pos()
+	if pos >= d.end {
+		return trace.Event{}, false
 	}
-	if hi > n {
-		hi = n
+	evs, err := flightrec.EventRange(d.st, pos, pos+1)
+	if err != nil || len(evs) != 1 {
+		return trace.Event{}, false
+	}
+	return evs[0], true
+}
+
+// Events returns the recorded events in [lo, hi), clamped to the store's
+// retained range.
+func (d *Debugger) Events(lo, hi uint64) []trace.Event {
+	rlo, rhi := flightrec.Retained(d.st)
+	if lo < rlo {
+		lo = rlo
+	}
+	if hi > rhi {
+		hi = rhi
 	}
 	if lo >= hi {
 		return nil
 	}
-	return d.rec.Full[lo:hi]
+	evs, err := flightrec.EventRange(d.st, lo, hi)
+	if err != nil {
+		return nil
+	}
+	return evs
 }
 
 // Checkpoints returns the checkpoint positions available to this session.
 func (d *Debugger) Checkpoints() []uint64 {
-	out := make([]uint64, len(d.cps))
-	for i, cp := range d.cps {
-		out[i] = cp.Seq
-	}
-	return out
+	return append([]uint64(nil), d.cpSeqs...)
 }
 
 // Close releases the session's replay machine.

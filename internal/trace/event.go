@@ -83,6 +83,11 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// Valid reports whether the kind is one of the declared event kinds.
+// Decoders use it to reject corrupt kind bytes instead of constructing
+// events no replayer could interpret.
+func (k EventKind) Valid() bool { return k < kindCount }
+
 // IsSync reports whether the kind establishes happens-before edges between
 // threads (lock/unlock, send/recv, spawn/exit).
 func (k EventKind) IsSync() bool {

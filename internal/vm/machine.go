@@ -335,6 +335,11 @@ func (m *Machine) Finish() *Result {
 	}
 	m.finished = true
 	m.releaseAll()
+	for _, o := range m.observers {
+		if f, ok := o.(FinishObserver); ok {
+			f.OnFinish(m.outcome)
+		}
+	}
 
 	res := &Result{
 		Outcome:      m.outcome,

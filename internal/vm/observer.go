@@ -20,6 +20,17 @@ type Observer interface {
 	OnEvent(e *trace.Event) uint64
 }
 
+// FinishObserver is an optional extension of Observer for observers that
+// buffer state across events (segment recorders, streaming writers):
+// OnFinish fires exactly once, from Machine.Finish, after the execution
+// has stopped and before the Result is built. The machine is quiescent
+// during the call, so the observer may inspect it (StreamNames, Seq) and
+// flush whatever it buffered.
+type FinishObserver interface {
+	Observer
+	OnFinish(outcome Outcome)
+}
+
 // ObserverFunc adapts a function to the Observer interface.
 type ObserverFunc func(e *trace.Event) uint64
 

@@ -30,14 +30,17 @@ func All() []*scenario.Scenario {
 	return append(out, progen.Corpus()...)
 }
 
-// Variants returns the healthy builds of the fixable scenarios — the
-// program after each fix predicate is enforced. They are resolvable by
-// name (and listed by Names) but excluded from All, so corpus-wide
-// experiments evaluate only failing runs.
+// Variants returns the scenarios that are resolvable by name (and listed
+// by Names) but excluded from All: the healthy builds of the fixable
+// scenarios — the program after each fix predicate is enforced — plus the
+// sustained long-running template (fuzz-sustained), which stays out of
+// the corpus so corpus-wide experiments don't pay its ~10x run length on
+// every cell.
 func Variants() []*scenario.Scenario {
 	out := []*scenario.Scenario{hyperkv.FixedScenario()}
 	out = append(out, dynokv.FixedVariants()...)
-	return append(out, progen.FixedVariants()...)
+	out = append(out, progen.FixedVariants()...)
+	return append(out, progen.Sustained())
 }
 
 // Names lists every resolvable scenario name — the corpus plus the fixed

@@ -99,6 +99,24 @@ func TestFuzzFamilyRegistered(t *testing.T) {
 	}
 }
 
+// TestSustainedVariantRegistered pins the long-running template's catalog
+// contract: fuzz-sustained resolves by name but stays out of the corpus,
+// so corpus-wide experiments never pay its ~10x run length.
+func TestSustainedVariantRegistered(t *testing.T) {
+	s, err := ByName("fuzz-sustained")
+	if err != nil {
+		t.Fatalf("ByName(fuzz-sustained): %v", err)
+	}
+	if s.Failure.Check == nil || s.Build == nil || s.Inputs == nil {
+		t.Fatal("fuzz-sustained is underspecified")
+	}
+	for _, c := range All() {
+		if c.Name == "fuzz-sustained" {
+			t.Fatal("fuzz-sustained leaked into the corpus")
+		}
+	}
+}
+
 // TestDefaultSeedsFail pins every scenario's default seed to a failing run
 // with exactly the expected original root cause.
 func TestDefaultSeedsFail(t *testing.T) {
