@@ -39,6 +39,7 @@ var targets = []target{
 	{"figures", true},
 	{"internal/checkpoint", false},
 	{"internal/flightrec", false},
+	{"internal/simdisk", false},
 }
 
 func main() {

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	name := flag.String("scenario", "staleread", "staleread, resurrect or losthint")
+	name := flag.String("scenario", "staleread", "staleread, resurrect, losthint, disk-tornwal, disk-fsyncloss or disk-snapres")
 	seed := flag.Int64("seed", -1, "scheduler seed (default: the scenario's)")
 	fixed := flag.Bool("fixed", false, "run the fixed variant")
 	sweep := flag.Int64("sweep", 0, "run seeds [0,n) and summarize failures")
@@ -32,11 +32,17 @@ func main() {
 	flag.Parse()
 
 	eng := debugdet.New(debugdet.WithReplayBudget(*budget))
-	full := "dynokv-" + *name
+	full := *name
 	if *fixed {
 		full += "-fixed"
 	}
+	// Short names refer to the dynokv family; the durable disk scenarios
+	// (disk-tornwal, disk-fsyncloss, disk-snapres) are registered under
+	// their full names and resolve verbatim.
 	s, err := eng.ByName(full)
+	if err != nil {
+		s, err = eng.ByName("dynokv-" + full)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dynokv: %v\n", err)
 		os.Exit(1)

@@ -462,11 +462,15 @@ func runInfo(in string) {
 	}
 }
 
-// infoStore prints a spill directory's manifest summary.
+// infoStore prints a spill directory's manifest summary. A directory that
+// is not a readable spill directory — empty, missing its manifest, or
+// holding a truncated one — is a usage error (status 2) like a
+// nonexistent path, not an internal failure.
 func infoStore(dir string) {
 	st, err := debugdet.OpenSegmentStore(dir)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(os.Stderr, "replaydbg info: %s is not a flight-recorder spill directory: %v\n", dir, err)
+		os.Exit(2)
 	}
 	meta := st.Meta()
 	fmt.Printf("flight recording: %s model=%s seed=%d events=%d interval=%d finalized=%v\n",

@@ -49,6 +49,16 @@ func TableDynoKV(o Options) ([]Cell, error) { return eval.TableDynoKV(o) }
 // RenderTableDynoKV prints T-DYNO.
 func RenderTableDynoKV(cells []Cell) string { return eval.RenderTableDynoKV(cells) }
 
+// DiskScenarios lists the durability family measured by TableDisk.
+func DiskScenarios() []string { return append([]string(nil), eval.DiskScenarios...) }
+
+// TableDisk evaluates every determinism model on the durability family
+// (T-DISK): crash-restart bugs on the simulated disk.
+func TableDisk(o Options) ([]Cell, error) { return eval.TableDisk(o) }
+
+// RenderTableDisk prints T-DISK.
+func RenderTableDisk(cells []Cell) string { return eval.RenderTableDisk(cells) }
+
 // FuzzScenarios lists the generated fuzz family measured by TableFuzz.
 func FuzzScenarios() []string { return append([]string(nil), eval.FuzzScenarios...) }
 

@@ -113,12 +113,15 @@ func Feeds(events []trace.Event, seq uint64, threads int) ([][]vm.FeedEntry, err
 		}
 		fe := vm.FeedEntry{Kind: e.Kind, OK: true}
 		switch e.Kind {
-		case trace.EvLoad, trace.EvRecv, trace.EvInput:
+		case trace.EvLoad, trace.EvRecv, trace.EvInput, trace.EvDiskRead:
 			// The event's taint is the provenance of the value read — the
 			// operation's contribution to the thread's taint register.
 			fe.Val = e.Val
 			fe.Taint = e.Taint
-		case trace.EvStore:
+		case trace.EvStore, trace.EvDiskWrite, trace.EvDiskFsync,
+			trace.EvDiskBarrier, trace.EvDiskCrash:
+			// Disk events carry the operation's result as their value —
+			// the same invariant memory events obey.
 			fe.Val = e.Val
 		case trace.EvSpawn:
 			// A spawn's result is the child thread ID, carried in Obj.

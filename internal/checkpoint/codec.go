@@ -25,6 +25,8 @@ import (
 //	                 value + taint u8 slots
 //	        streams: uvarint count, then name (string) and inIndex uvarint
 //	                 (histories are rehydrated from the event prefix)
+//	        disks:   uvarint count, then per disk uvarint record count and
+//	                 value + taint u8 records, durable uvarint, fsyncs uvarint
 //
 // Values reuse the trace codec's encoding (trace.WriteValue/ReadValue).
 
@@ -125,6 +127,21 @@ func encodeSnapshot(bw *bufio.Writer, s *vm.Snapshot) {
 		st := &s.Streams[i]
 		writeString(bw, st.Name)
 		writeUvarint(bw, uint64(st.InIndex))
+	}
+
+	// Disk records are live state, not a trace projection: the volatile
+	// tail and the torn survivor of a crash exist nowhere in the event
+	// stream, so the full log is persisted.
+	writeUvarint(bw, uint64(len(s.Disks)))
+	for i := range s.Disks {
+		d := &s.Disks[i]
+		writeUvarint(bw, uint64(len(d.Recs)))
+		for _, sl := range d.Recs {
+			trace.WriteValue(bw, sl.Val)
+			bw.WriteByte(byte(sl.Taint))
+		}
+		writeUvarint(bw, uint64(d.Durable))
+		writeUvarint(bw, uint64(d.Fsyncs))
 	}
 }
 
@@ -265,6 +282,28 @@ func decodeSnapshot(br *bufio.Reader) (*vm.Snapshot, error) {
 			return nil, err
 		}
 		st.InIndex = int(idx)
+	}
+
+	n, err = readCount(br, "disks")
+	if err != nil {
+		return nil, err
+	}
+	s.Disks = make([]vm.DiskSnap, n)
+	for i := range s.Disks {
+		d := &s.Disks[i]
+		if d.Recs, err = readSlots(br, "disk records"); err != nil {
+			return nil, err
+		}
+		durable, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		d.Durable = int(durable)
+		fsyncs, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		d.Fsyncs = int(fsyncs)
 	}
 	return s, nil
 }

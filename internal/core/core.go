@@ -104,6 +104,11 @@ func (o Options) validate() error {
 	if o.CheckpointInterval < 0 {
 		return fmt.Errorf("core: Options.CheckpointInterval must not be negative (got %d; use 0 to disable checkpoints)", o.CheckpointInterval)
 	}
+	if o.FlightRecorder != nil {
+		if err := o.FlightRecorder.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,117 @@
+package dynokv
+
+import (
+	"bytes"
+	"testing"
+
+	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
+	"debugdet/internal/vm"
+)
+
+func TestTornWALDefaultSeed(t *testing.T) {
+	s := TornWAL()
+	v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+	expectCauses(t, s, v, "dynokv:corruptread", "torn-loose-decode")
+	if v.Result.Outcome != vm.OutcomeOK {
+		t.Fatalf("outcome = %v; the corruption must be silent", v.Result.Outcome)
+	}
+	if v.Machine.CellByName(CellBitRot).AsInt() != 0 {
+		t.Fatal("production run must not contain media rot")
+	}
+}
+
+func TestFsyncLossDefaultSeed(t *testing.T) {
+	s := FsyncLoss()
+	v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+	expectCauses(t, s, v, "dynokv:lostdurable", "fsync-reordered")
+	if v.Machine.CellByName(CellDurAcked).AsInt() == 0 {
+		t.Fatal("no write was ever acknowledged; the loss must be of acked writes")
+	}
+	if v.Machine.CellByName(CellDevLost).AsInt() != 0 {
+		t.Fatal("production run must not contain device-side record loss")
+	}
+}
+
+func TestSnapResDefaultSeed(t *testing.T) {
+	s := SnapRes()
+	v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+	expectCauses(t, s, v, "dynokv:diskresurrect", "missing-tombstone")
+	if v.Machine.CellByName(CellDurRewrites).AsInt() != 0 {
+		t.Fatal("production run must not contain application rewrites")
+	}
+}
+
+// TestDurableFixedVariantsNeverFail: the fixed builds survive the same
+// crash plans (and torn-write / fsync-reordering fault plane) cleanly.
+func TestDurableFixedVariantsNeverFail(t *testing.T) {
+	for _, f := range DurableFixedVariants() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				v := f.Exec(scenario.ExecOptions{Seed: seed})
+				if v.Result.Outcome != vm.OutcomeOK {
+					t.Fatalf("seed %d: outcome %v (%v)", seed, v.Result.Outcome, v.Result.Terminal)
+				}
+				if failed, sig := f.CheckFailure(v); failed {
+					t.Fatalf("seed %d: fixed build fails with %q (%s)", seed, sig, DurableStats(v))
+				}
+			}
+		})
+	}
+}
+
+// TestDurableRunsAreDeterministic: same seed ⇒ identical event trace,
+// including the disk-operation events the crash-recovery path emits.
+func TestDurableRunsAreDeterministic(t *testing.T) {
+	for _, s := range DurableFamily() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			a := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+			b := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+			if !trace.EventsEqual(a.Trace, b.Trace, false) {
+				t.Fatal("identical durable runs produced different traces")
+			}
+			var ab, bb bytes.Buffer
+			if _, err := trace.Encode(&ab, a.Trace); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := trace.Encode(&bb, b.Trace); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+				t.Fatal("serialized traces differ across identical runs")
+			}
+		})
+	}
+}
+
+// TestDurableEmitsDiskEvents: the durability scenarios genuinely exercise
+// the disk plane — every disk event kind, including the crash, appears in
+// the default-seed trace.
+func TestDurableEmitsDiskEvents(t *testing.T) {
+	for _, s := range DurableFamily() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
+			seen := map[trace.EventKind]int{}
+			for _, e := range v.Trace.Events {
+				seen[e.Kind]++
+			}
+			want := []trace.EventKind{
+				trace.EvDiskWrite, trace.EvDiskRead, trace.EvDiskFsync, trace.EvDiskCrash,
+			}
+			if s.Name == "disk-fsyncloss" {
+				// Only the fixed build barriers; the buggy one never does.
+				if seen[trace.EvDiskBarrier] != 0 {
+					t.Fatal("buggy fsyncloss build must not issue barriers")
+				}
+			}
+			for _, k := range want {
+				if seen[k] == 0 {
+					t.Fatalf("trace has no %v events (%v)", k, seen)
+				}
+			}
+		})
+	}
+}

@@ -398,6 +398,60 @@ func RenderTableDynoKV(cells []Cell) string {
 	return b.String()
 }
 
+// DiskScenarios lists the durability family measured by T-DISK, derived
+// from the family itself so the table can never drift from the catalog.
+var DiskScenarios = func() []string {
+	var names []string
+	for _, s := range dynokv.DurableFamily() {
+		names = append(names, s.Name)
+	}
+	return names
+}()
+
+// TableDisk evaluates every determinism model on the durability family
+// (T-DISK): crash-restart bugs on the simulated disk — torn-WAL
+// corruption, fsync-reordering loss of acknowledged writes, and
+// snapshot+log resurrection of a deleted key. The fsync-reordering row is
+// the table's point: output and failure determinism satisfy their
+// contracts with a device-loss explanation while debug determinism
+// reproduces the real reordering.
+func TableDisk(o Options) ([]Cell, error) {
+	o = o.withDefaults()
+	models := record.AllModels()
+	cells := make([]Cell, len(DiskScenarios)*len(models))
+	err := runGrid(o.Ctx, len(cells), o.Workers, func(i int) error {
+		name, model := DiskScenarios[i/len(models)], models[i%len(models)]
+		s, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		c, err := runCell(s, model, o)
+		if err != nil {
+			return fmt.Errorf("disk %s/%s: %w", name, model, err)
+		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// RenderTableDisk prints T-DISK.
+func RenderTableDisk(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("Table DISK — determinism models on the durability family\n")
+	b.WriteString("(crash-restart bugs on the simulated disk: torn WAL, fsync reordering, snapshot resurrection)\n\n")
+	fmt.Fprintf(&b, "%-18s %-12s %9s %9s %6s %7s %7s %-16s\n",
+		"scenario", "model", "overhead", "logbytes", "DF", "DE", "DU", "replay cause")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-18s %-12s %8.2fx %9d %6.3f %7.3f %7.3f %-16s\n",
+			c.Scenario, c.Model, c.Overhead, c.LogBytes, c.DF, c.DE, c.DU, c.ReplayCause)
+	}
+	return b.String()
+}
+
 // FuzzScenarios lists the generated fuzz family measured by T-FUZZ,
 // derived from the progen corpus so the table can never drift from the
 // catalog.

@@ -127,6 +127,53 @@ func TestTableDynoKVSweetSpot(t *testing.T) {
 	}
 }
 
+// TestTableDiskMisattribution pins the durability family's story: RCSE
+// reproduces every disk bug's true root cause at DF 1 for a fraction of
+// value recording's cost, while the relaxed models can satisfy the
+// fsync-reordering scenario's failure signature with the wrong
+// explanation (generic device loss) — the misattribution the paper warns
+// weaker determinism levels invite.
+func TestTableDiskMisattribution(t *testing.T) {
+	cells, err := TableDisk(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(DiskScenarios)*len(record.AllModels()) {
+		t.Fatalf("disk table has %d cells", len(cells))
+	}
+	type pair struct {
+		scenario string
+		model    record.Model
+	}
+	byCell := make(map[pair]Cell)
+	for _, c := range cells {
+		byCell[pair{c.Scenario, c.Model}] = c
+	}
+	for _, name := range DiskScenarios {
+		v := byCell[pair{name, record.Value}]
+		r := byCell[pair{name, record.DebugRCSE}]
+		if r.DF != 1 {
+			t.Errorf("%s: rcse DF = %v, want 1", name, r.DF)
+		}
+		if !(r.Overhead < v.Overhead && r.LogBytes < v.LogBytes) {
+			t.Errorf("%s: rcse cost (%.2fx, %dB) not below value (%.2fx, %dB)",
+				name, r.Overhead, r.LogBytes, v.Overhead, v.LogBytes)
+		}
+	}
+	for _, m := range []record.Model{record.Output, record.Failure} {
+		c := byCell[pair{"disk-fsyncloss", m}]
+		if c.DF != 0.5 || c.ReplayCause != "device-loss" {
+			t.Errorf("disk-fsyncloss/%s: DF=%v cause=%q, want 0.5/device-loss", m, c.DF, c.ReplayCause)
+		}
+	}
+	if byCell[pair{"disk-fsyncloss", record.DebugRCSE}].ReplayCause != "fsync-reordered" {
+		t.Error("rcse did not recover the true fsync-reordering cause")
+	}
+	if !strings.Contains(RenderTableDisk(cells), "disk-tornwal") {
+		t.Fatal("disk table rendering broken")
+	}
+}
+
 func TestTableFuzzConverges(t *testing.T) {
 	cells, err := TableFuzz(small, nil)
 	if err != nil {

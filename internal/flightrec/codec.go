@@ -49,8 +49,9 @@ import (
 //	magic    "DDFL" (4 bytes), version u8
 //	entries until EOF, one per event of the whole run, in order:
 //	         tid zigzag; kind u8; then by kind —
-//	         Load/Recv: value, taint u8 · Input: obj uvarint, value,
-//	         taint u8 · Store: value · Output: obj uvarint, value ·
+//	         Load/Recv/DiskRead: value, taint u8 · Input: obj uvarint,
+//	         value, taint u8 · Store/DiskWrite/DiskFsync/DiskBarrier/
+//	         DiskCrash: value · Output: obj uvarint, value ·
 //	         Spawn: obj uvarint · anything else: no payload
 const (
 	segMagic      = "DDSG"
@@ -408,14 +409,15 @@ func writeFeedEntry(bw *bufio.Writer, e *trace.Event) {
 	writeVarint(bw, int64(e.TID))
 	bw.WriteByte(byte(e.Kind))
 	switch e.Kind {
-	case trace.EvLoad, trace.EvRecv:
+	case trace.EvLoad, trace.EvRecv, trace.EvDiskRead:
 		trace.WriteValue(bw, e.Val)
 		bw.WriteByte(byte(e.Taint))
 	case trace.EvInput:
 		writeUvarint(bw, uint64(e.Obj))
 		trace.WriteValue(bw, e.Val)
 		bw.WriteByte(byte(e.Taint))
-	case trace.EvStore:
+	case trace.EvStore, trace.EvDiskWrite, trace.EvDiskFsync,
+		trace.EvDiskBarrier, trace.EvDiskCrash:
 		trace.WriteValue(bw, e.Val)
 	case trace.EvOutput:
 		writeUvarint(bw, uint64(e.Obj))
@@ -452,7 +454,7 @@ func readFeedLog(r io.Reader, fn func(i uint64, fe *feedEntry) error) (uint64, e
 		}
 		fe.Kind = trace.EventKind(kb)
 		switch fe.Kind {
-		case trace.EvLoad, trace.EvRecv:
+		case trace.EvLoad, trace.EvRecv, trace.EvDiskRead:
 			if fe.Val, err = readValue(br); err != nil {
 				return count, err
 			}
@@ -475,7 +477,8 @@ func readFeedLog(r io.Reader, fn func(i uint64, fe *feedEntry) error) (uint64, e
 				return count, err
 			}
 			fe.Taint = trace.Taint(tb)
-		case trace.EvStore:
+		case trace.EvStore, trace.EvDiskWrite, trace.EvDiskFsync,
+			trace.EvDiskBarrier, trace.EvDiskCrash:
 			if fe.Val, err = readValue(br); err != nil {
 				return count, err
 			}
@@ -507,10 +510,11 @@ func readFeedLog(r io.Reader, fn func(i uint64, fe *feedEntry) error) (uint64, e
 func (fe *feedEntry) feed() vm.FeedEntry {
 	out := vm.FeedEntry{Kind: fe.Kind, OK: true}
 	switch fe.Kind {
-	case trace.EvLoad, trace.EvRecv, trace.EvInput:
+	case trace.EvLoad, trace.EvRecv, trace.EvInput, trace.EvDiskRead:
 		out.Val = fe.Val
 		out.Taint = fe.Taint
-	case trace.EvStore:
+	case trace.EvStore, trace.EvDiskWrite, trace.EvDiskFsync,
+		trace.EvDiskBarrier, trace.EvDiskCrash:
 		out.Val = fe.Val
 	case trace.EvSpawn:
 		out.Val = trace.Int(int64(fe.Obj))

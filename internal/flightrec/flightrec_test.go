@@ -1,8 +1,10 @@
 package flightrec_test
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"debugdet/internal/flightrec"
@@ -14,15 +16,20 @@ import (
 	"debugdet/internal/workload"
 )
 
-// flightScenarios is the integration corpus slice: one small scenario and
-// one with real message/stream traffic.
+// flightScenarios is the integration corpus slice: one small scenario,
+// one with real message/stream traffic, and one whose trace carries
+// simulated-disk operations (crash-restart WAL recovery).
 func flightScenarios(t *testing.T) []*scenario.Scenario {
 	t.Helper()
-	stale, err := workload.ByName("dynokv-staleread")
-	if err != nil {
-		t.Fatal(err)
+	out := []*scenario.Scenario{workload.Bank()}
+	for _, name := range []string{"dynokv-staleread", "disk-tornwal"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
 	}
-	return []*scenario.Scenario{workload.Bank(), stale}
+	return out
 }
 
 // plainRecording is the reference: the monolithic perfect recording of the
@@ -464,5 +471,171 @@ func TestOpenRejectsMissing(t *testing.T) {
 	}
 	if _, err := flightrec.Open(t.TempDir()); err == nil {
 		t.Fatal("Open on an empty directory succeeded")
+	}
+}
+
+// TestOptionsValidate pins the validation contract: negative ring and
+// retention knobs are rejected by Validate and by Record — before the
+// spill directory is created, so a rejected recording leaves no artifact.
+func TestOptionsValidate(t *testing.T) {
+	if err := (flightrec.Options{}).Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	if err := (flightrec.Options{RingSegments: -1}).Validate(); err == nil || !strings.Contains(err.Error(), "RingSegments") {
+		t.Fatalf("negative RingSegments: err = %v", err)
+	}
+	if err := (flightrec.Options{Retention: -1}).Validate(); err == nil || !strings.Contains(err.Error(), "Retention") {
+		t.Fatalf("negative Retention: err = %v", err)
+	}
+	s := workload.Bank()
+	dir := filepath.Join(t.TempDir(), "spill")
+	if _, err := flightrec.Record(s, s.DefaultSeed, nil, flightrec.Options{SpillDir: dir, Retention: -5}); err == nil || !strings.Contains(err.Error(), "Retention") {
+		t.Fatalf("Record with negative Retention: err = %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("rejected Record still created %s", dir)
+	}
+}
+
+// retainedRecording flight-records dynokv-staleread with the given
+// retention cap and enough segments that eviction actually happens.
+func retainedRecording(t *testing.T, retention int) (*scenario.Scenario, *record.Recording, *flightrec.RecordResult) {
+	t.Helper()
+	s, err := workload.ByName("dynokv-staleread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := plainRecording(t, s)
+	interval := uint64(len(plain.Full)) / 10
+	if interval < 4 {
+		interval = 4
+	}
+	res := flightRecord(t, s, flightrec.Options{Interval: interval, RingSegments: 1, Retention: retention})
+	if res.Evicted == 0 {
+		t.Fatalf("retention %d over %d segments evicted nothing", retention, res.Segments)
+	}
+	return s, plain, res
+}
+
+// TestRetentionOne pins the most aggressive retention cap: a single
+// retained segment. Seeks into that segment restore from its boundary
+// snapshot; anything earlier falls back to the feed log and replays from
+// the start — nothing is fabricated from the evicted prefix.
+func TestRetentionOne(t *testing.T) {
+	s, plain, res := retainedRecording(t, 1)
+	st := res.Store
+	n := uint64(len(plain.Full))
+	segs := st.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("store retains %d segments, cap is 1", len(segs))
+	}
+	lo, hi := flightrec.Retained(st)
+	if lo != segs[0].From || hi != n {
+		t.Fatalf("retained [%d, %d), manifest tail is [%d, %d)", lo, hi, segs[0].From, n)
+	}
+
+	// A target at the very first retained event seeks from the segment's
+	// own boundary snapshot.
+	sess, err := replay.SeekStore(s, st, lo, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.FromCheckpoint || sess.SuffixFrom != lo {
+		t.Fatalf("oldest-retained seek: FromCheckpoint=%v SuffixFrom=%d, want snapshot at %d", sess.FromCheckpoint, sess.SuffixFrom, lo)
+	}
+	view, ok := sess.RunToEnd()
+	if !ok {
+		t.Fatal("tail replay did not reproduce the run")
+	}
+	assertEventsMatch(t, "retention-1 tail", view.Trace.Events, plain.Full[lo:])
+
+	// One event earlier is evicted: full replay from 0, same events.
+	sess, err = replay.SeekStore(s, st, lo-1, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.FromCheckpoint {
+		t.Fatal("evicted-range target restored from a checkpoint")
+	}
+	if view, ok = sess.RunToEnd(); !ok {
+		t.Fatal("pre-tail replay did not reproduce the run")
+	}
+	assertEventsMatch(t, "retention-1 full", view.Trace.Events, plain.Full)
+}
+
+// TestSeekRacesEviction pins what happens when retention evicts the
+// oldest retained segment between a debugger's manifest read and its
+// segment read (the recorder and a debugger share the spill directory, so
+// this interleaving is reachable). A seek that already loaded the segment
+// keeps working from the cache; a seek that has not errors cleanly.
+func TestSeekRacesEviction(t *testing.T) {
+	s, plain, res := retainedRecording(t, 3)
+	st := res.Store
+	oldest := st.Segments()[0]
+	target := oldest.From
+
+	// Load the oldest retained segment into the store's cache, then evict
+	// its file out from under the store.
+	if _, err := st.Events(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(st.Dir(), oldest.File)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cached store is immune to the eviction.
+	sess, err := replay.SeekStore(s, st, target, replay.Options{})
+	if err != nil {
+		t.Fatalf("seek after cached eviction: %v", err)
+	}
+	view, ok := sess.RunToEnd()
+	if !ok {
+		t.Fatal("cached-segment replay did not reproduce the run")
+	}
+	assertEventsMatch(t, "cached tail", view.Trace.Events, plain.Full[sess.SuffixFrom:])
+
+	// A store opened after the eviction sees the stale manifest: the same
+	// seek must fail with a clear error, not fabricate events.
+	st2, err := flightrec.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.SeekStore(s, st2, target, replay.Options{}); err == nil || !strings.Contains(err.Error(), oldest.File) {
+		t.Fatalf("seek into evicted segment: err = %v, want mention of %s", err, oldest.File)
+	}
+}
+
+// TestManifestWithEvictedSegment: a manifest entry whose .ddseg is gone
+// (deleted out of band, or a crash between eviction and manifest rewrite)
+// keeps the store openable — the manifest alone is intact — but reads of
+// the missing segment error cleanly and the surviving segments still
+// serve events.
+func TestManifestWithEvictedSegment(t *testing.T) {
+	_, plain, res := retainedRecording(t, 3)
+	st := res.Store
+	segs := st.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("need at least 2 retained segments, have %d", len(segs))
+	}
+	gone := segs[0]
+	if err := os.Remove(filepath.Join(st.Dir(), gone.File)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := flightrec.Open(st.Dir())
+	if err != nil {
+		t.Fatalf("open with dangling manifest entry: %v", err)
+	}
+	if _, err := st2.Events(0); err == nil || !strings.Contains(err.Error(), "open segment") {
+		t.Fatalf("Events on evicted segment: err = %v", err)
+	}
+	last := len(segs) - 1
+	evs, err := st2.Events(last)
+	if err != nil {
+		t.Fatalf("Events on surviving segment: %v", err)
+	}
+	assertEventsMatch(t, "surviving segment", evs, plain.Full[segs[last].From:segs[last].To])
+	if _, err := st2.BestSnapshot(gone.To - 1); err == nil {
+		t.Fatal("BestSnapshot inside the evicted segment succeeded")
 	}
 }

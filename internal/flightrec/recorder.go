@@ -41,6 +41,19 @@ type Options struct {
 	Retention int
 }
 
+// Validate rejects option values that would otherwise be silently
+// reinterpreted: a negative ring size would disable sealing entirely and
+// a negative retention would evict every spilled segment.
+func (o Options) Validate() error {
+	if o.RingSegments < 0 {
+		return fmt.Errorf("flightrec: Options.RingSegments must not be negative (got %d; use 0 for the default ring of %d)", o.RingSegments, DefaultRingSegments)
+	}
+	if o.Retention < 0 {
+		return fmt.Errorf("flightrec: Options.Retention must not be negative (got %d; use 0 to keep all segments)", o.Retention)
+	}
+	return nil
+}
+
 // withDefaults resolves zero fields.
 func (o Options) withDefaults() Options {
 	if o.Interval == 0 {
@@ -101,6 +114,9 @@ type Recorder struct {
 // identity (name, seed, params) under the perfect model. Attach the
 // returned recorder to m before running; call Finalize after the run.
 func NewRecorder(m *vm.Machine, name string, seed int64, params scenario.Params, o Options) (*Recorder, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.withDefaults()
 	if o.SpillDir == "" {
 		return nil, fmt.Errorf("flightrec: Options.SpillDir is required (the feed log has no in-memory fallback)")

@@ -125,7 +125,8 @@ func Profile(l *trace.Log) []SiteProfile {
 		}
 		p.Events++
 		switch e.Kind {
-		case trace.EvStore, trace.EvSend, trace.EvRecv, trace.EvInput, trace.EvOutput, trace.EvLoad, trace.EvObserve:
+		case trace.EvStore, trace.EvSend, trace.EvRecv, trace.EvInput, trace.EvOutput, trace.EvLoad, trace.EvObserve,
+			trace.EvDiskWrite, trace.EvDiskRead:
 			p.PayloadByte += uint64(e.Val.Size())
 		}
 		if e.Taint&trace.TaintData != 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"debugdet/internal/scenario"
+	"debugdet/internal/simdisk"
 	"debugdet/internal/simnet"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
@@ -11,12 +12,15 @@ import (
 
 // Pinned catalog defaults: a (generator seed, scheduler seed) pair per
 // family whose production run manifests the injected failure. Verified by
-// TestCorpusDefaultsFail and the workload-level default-seed test.
+// TestCorpusDefaultsFail and the workload-level default-seed test. Each
+// gen is congruent to its family index modulo the family count, so the
+// raw gens double as fuzz seeds for their own family.
 const (
-	atomicityGen, atomicitySeed   = 4, 3
+	atomicityGen, atomicitySeed   = 10, 3
 	lockCycleGen, lockCycleSeed   = 1, 3
 	lostMessageGen, lostMsgSeed   = 2, 1
 	oversellGen, oversellSeedPins = 3, 2
+	crashPointGen, crashPointSeed = 4, 1
 )
 
 // lastOut fetches the final value emitted on an output stream.
@@ -414,6 +418,128 @@ func oversellScenario() *scenario.Scenario {
 				return sold > capacity
 			},
 		}},
+	}
+}
+
+// --- fuzz-crashpoint ----------------------------------------------------
+
+func crashPointScenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name: "fuzz-crashpoint",
+		Description: "generated crash-point durability loss: a seed-shaped " +
+			"writer appends framed records to a simulated-disk WAL and " +
+			"acknowledges each append before the group fsync; a crash at an " +
+			"input-chosen point loses acknowledged records",
+		DefaultParams:  scenario.Params{"gen": crashPointGen, "fixed": 0},
+		DefaultSeed:    crashPointSeed,
+		TrainingParams: scenario.Params{"fixed": 1},
+		Build:          buildCrashPoint,
+		Inputs:         hashInputs,
+		InputDomains: []scenario.InputDomain{
+			{Stream: "fuzz.payload", Min: 0, Max: 999},
+			{Stream: "fuzz.crashplan", Min: 0, Max: 127},
+		},
+		ControlStreams: []string{"fuzz.crashplan"},
+		Failure: scenario.FailureSpec{
+			Name: "lost-record",
+			Check: func(v *scenario.RunView) (bool, string) {
+				acked, okA := lastOut(v, "fuzz.acked")
+				recovered, okR := lastOut(v, "fuzz.recovered")
+				if !okA || !okR {
+					return false, ""
+				}
+				if recovered < acked {
+					return true, "fuzz:lost-record"
+				}
+				return false, ""
+			},
+		},
+		RootCauses: []scenario.RootCause{{
+			ID:          "early-ack",
+			Description: "appends are acknowledged as soon as they are written, before the group fsync makes them durable; a crash inside the group window discards acknowledged records",
+			Present: func(v *scenario.RunView) bool {
+				acked, _ := lastOut(v, "fuzz.acked")
+				recovered, _ := lastOut(v, "fuzz.recovered")
+				return recovered < acked
+			},
+		}},
+	}
+}
+
+func buildCrashPoint(m *vm.Machine, p scenario.Params) func(*vm.Thread) {
+	r := newRng(p.Get("gen", crashPointGen))
+	genRecs := r.between(5, 11)
+	genGroup := r.between(2, 3) // a group of 1 would fsync every append and mask the bug
+	noise := r.intn(3)
+	recs := int(p.Get("records", int64(genRecs)))
+	group := int(p.Get("group", int64(genGroup)))
+	fixed := p.Get("fixed", 0) != 0
+
+	disk := m.NewDisk("fuzz.wal", vm.DiskFaults{})
+	ackTally := m.NewCell("fuzz.acktally", trace.Int(0))
+	done := m.NewChan("fuzz.done", 1)
+	var noiseCells []trace.ObjID
+	if noise > 0 {
+		noiseCells = m.NewCells("fuzz.noise", noise, trace.Int(0))
+	}
+	payloadIn := m.DeclareStream("fuzz.payload", trace.TaintData)
+	planIn := m.DeclareStream("fuzz.crashplan", trace.TaintControl)
+
+	sPayload := m.Site("fuzz.payload.in")
+	sPlan := m.Site("fuzz.plan.in")
+	sAppend := m.Site("fuzz.wal.append")
+	sFsync := m.Site("fuzz.wal.fsync")
+	sAck := m.Site("fuzz.ack")
+	sCrash := m.Site("fuzz.crash")
+	sScan := m.Site("fuzz.recover.scan")
+	sNoise := m.Site("fuzz.noiseop")
+	sDone := m.Site("fuzz.join")
+	sSpawn := m.Site("main.spawn")
+	sReport := m.Site("fuzz.report")
+
+	writer := func(t *vm.Thread) {
+		plan := t.Input(sPlan, planIn).AsInt()
+		if plan < 0 {
+			plan = -plan
+		}
+		crashAfter := 1 + int(plan)%recs
+		acked, durable := 0, 0
+		for i := 0; i < crashAfter; i++ {
+			payload := t.Input(sPayload, payloadIn).AsInt()
+			simdisk.Append(t, sAppend, disk, int64(i), payload)
+			if !fixed {
+				// The defect: acknowledged the moment it is written,
+				// while the record is still volatile.
+				acked++
+				t.Add(sAck, ackTally, 1)
+			}
+			if (i+1)%group == 0 {
+				w := int(t.DiskFsync(sFsync, disk))
+				if fixed {
+					t.Add(sAck, ackTally, int64(w-durable))
+					acked = w
+				}
+				durable = w
+			}
+			if len(noiseCells) > 0 {
+				t.Add(sNoise, noiseCells[i%len(noiseCells)], payload%7)
+			}
+		}
+		t.DiskCrash(sCrash, disk)
+		t.Send(sDone, done, trace.Int(int64(acked)))
+	}
+
+	return func(t *vm.Thread) {
+		t.Spawn(sSpawn, "writer", writer)
+		acked := t.Recv(sDone, done).AsInt()
+		recovered := int64(0)
+		for _, raw := range simdisk.Scan(t, sScan, disk) {
+			if _, ok := simdisk.Decode(raw); ok {
+				recovered++
+			}
+		}
+		t.Output(sReport, m.Stream("fuzz.acked"), trace.Int(acked))
+		t.Output(sReport, m.Stream("fuzz.recovered"), trace.Int(recovered))
 	}
 }
 

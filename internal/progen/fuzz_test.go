@@ -11,13 +11,14 @@ import (
 
 // seedCorpus primes the fuzz target with one seed per family plus the
 // catalog's pinned generator seeds (ForSeed uses the whole seed as the
-// generator seed, and each pinned gen was chosen with gen % 4 equal to
-// its family index, so the raw gens are their own fuzz seeds).
+// generator seed, and each pinned gen was chosen congruent to its family
+// index modulo the family count, so the raw gens are their own fuzz
+// seeds).
 func seedCorpus(f *testing.F) {
 	for s := int64(0); s < int64(len(Families())); s++ {
 		f.Add(s)
 	}
-	for _, gen := range []int64{atomicityGen, lockCycleGen, lostMessageGen, oversellGen} {
+	for _, gen := range []int64{atomicityGen, lockCycleGen, lostMessageGen, oversellGen, crashPointGen} {
 		f.Add(gen)
 	}
 }
@@ -50,6 +51,43 @@ func FuzzProgramGeneration(f *testing.F) {
 // generated traffic shape must rotate segments past a small ring, spill
 // to disk, keep recorder memory far below the event volume, and reopen
 // with the whole run retained and the event count intact.
+// FuzzCrashPoint sweeps the crash-point durability template over
+// fuzzer-provided (generator, environment) seed pairs — the generator
+// shapes the WAL writer, the environment seed picks the crash plan. Every
+// generated program must execute deterministically, a failure must always
+// carry the lost-record signature, and the fixed variant — which only
+// acknowledges records the fsync watermark covers — must never lose an
+// acknowledged record on the same crash plan.
+func FuzzCrashPoint(f *testing.F) {
+	f.Add(int64(crashPointGen), int64(crashPointSeed))
+	for s := int64(0); s < 6; s++ {
+		f.Add(s, s*3+1)
+	}
+	f.Fuzz(func(t *testing.T, gen, seed int64) {
+		g := Normalize(gen)
+		s := Scenario(CrashPoint)
+		opts := scenario.ExecOptions{Seed: seed, Params: scenario.Params{"gen": g, "fixed": 0}, MaxSteps: 1 << 16}
+		a := s.Exec(opts)
+		if a.Result.Outcome == vm.OutcomeAborted {
+			t.Fatalf("gen %d seed %d: hit the step limit", g, seed)
+		}
+		b := s.Exec(opts)
+		if !trace.EventsEqual(a.Trace, b.Trace, false) {
+			t.Fatalf("gen %d seed %d: generation is not deterministic", g, seed)
+		}
+		if failed, sig := s.CheckFailure(a); failed && sig != "fuzz:lost-record" {
+			t.Fatalf("gen %d seed %d: failure signature %q", g, seed, sig)
+		}
+		fa := s.Exec(scenario.ExecOptions{Seed: seed, Params: scenario.Params{"gen": g, "fixed": 1}, MaxSteps: 1 << 16})
+		if fa.Result.Outcome == vm.OutcomeAborted {
+			t.Fatalf("gen %d seed %d: fixed variant hit the step limit", g, seed)
+		}
+		if failed, _ := s.CheckFailure(fa); failed {
+			t.Fatalf("gen %d seed %d: fixed variant lost an acknowledged record", g, seed)
+		}
+	})
+}
+
 func FuzzSustainedFlightRecording(f *testing.F) {
 	f.Add(int64(sustainedGen))
 	for s := int64(0); s < 4; s++ {

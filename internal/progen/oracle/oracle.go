@@ -213,8 +213,10 @@ func shrinkSets(p progen.Program) []scenario.Params {
 		overrides = []scenario.Params{{"iters": 1}}
 	case progen.LostMessage:
 		overrides = []scenario.Params{{"messages": 2}, {"messages": 3}}
-	default: // Oversell
+	case progen.Oversell:
 		overrides = []scenario.Params{{"buyers": 2, "attempts": 1}, {"attempts": 1}}
+	default: // CrashPoint
+		overrides = []scenario.Params{{"records": 3}, {"records": 4, "group": 2}}
 	}
 	sets := make([]scenario.Params, len(overrides))
 	for i, o := range overrides {

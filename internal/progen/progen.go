@@ -1,8 +1,9 @@
 // Package progen is a seeded scenario fuzzer: it generates valid
-// concurrent VM workloads — threads, shared cells, locks, channels and
-// simnet message exchanges — with an injected bug from one of four
-// templates (atomicity violation, lock-order deadlock, lost message,
-// oversell race), packaged as ordinary scenario.Scenario values.
+// concurrent VM workloads — threads, shared cells, locks, channels,
+// simnet message exchanges and simulated-disk WALs — with an injected bug
+// from one of five templates (atomicity violation, lock-order deadlock,
+// lost message, oversell race, crash-point durability loss), packaged as
+// ordinary scenario.Scenario values.
 //
 // The paper's claim that debug determinism is the sweet spot for replay
 // debugging is only credible if it holds beyond a handful of hand-authored
@@ -11,10 +12,11 @@
 // scenario parameter "gen": the same seed always yields the same object
 // graph, the same thread bodies and the same bug, so generated scenarios
 // record, replay and evaluate exactly like the hand-written corpus. The
-// four seed-parameterized scenarios (fuzz-atomicity, fuzz-deadlock,
-// fuzz-lostmsg, fuzz-oversell) are registered in the workload catalog with
-// pinned defaults known to manifest their failures; any other generator
-// seed is reproducible by overriding Params{"gen": seed}.
+// five seed-parameterized scenarios (fuzz-atomicity, fuzz-deadlock,
+// fuzz-lostmsg, fuzz-oversell, fuzz-crashpoint) are registered in the
+// workload catalog with pinned defaults known to manifest their failures;
+// any other generator seed is reproducible by overriding
+// Params{"gen": seed}.
 //
 // The companion differential-oracle harness (oracle.go) checks the
 // system's metamorphic invariants over generated programs: replay
@@ -49,9 +51,14 @@ const (
 	// shared remaining-capacity cell, yield, then decrement it, so
 	// concurrent buyers oversell the capacity.
 	Oversell
+	// CrashPoint is an early-acknowledged WAL write: a writer appends
+	// framed records to a simulated disk and acknowledges them before the
+	// group fsync makes them durable; a crash injected at an input-chosen
+	// point loses acknowledged records.
+	CrashPoint
 )
 
-var familyNames = [...]string{"atomicity", "deadlock", "lostmsg", "oversell"}
+var familyNames = [...]string{"atomicity", "deadlock", "lostmsg", "oversell", "crashpoint"}
 
 // String returns the family's short name.
 func (f Family) String() string {
@@ -66,7 +73,7 @@ func (f Family) ScenarioName() string { return "fuzz-" + f.String() }
 
 // Families lists every bug-template family.
 func Families() []Family {
-	return []Family{Atomicity, LockCycle, LostMessage, Oversell}
+	return []Family{Atomicity, LockCycle, LostMessage, Oversell, CrashPoint}
 }
 
 // Program pairs a generated scenario with everything needed to execute
@@ -120,12 +127,14 @@ func Scenario(f Family) *scenario.Scenario {
 		return lockCycleScenario()
 	case LostMessage:
 		return lostMessageScenario()
-	default:
+	case Oversell:
 		return oversellScenario()
+	default:
+		return crashPointScenario()
 	}
 }
 
-// Corpus returns the four seed-parameterized fuzz scenarios with their
+// Corpus returns the five seed-parameterized fuzz scenarios with their
 // pinned failing defaults, in family order — the generated slice of the
 // workload catalog.
 func Corpus() []*scenario.Scenario {
@@ -139,7 +148,7 @@ func Corpus() []*scenario.Scenario {
 // FixedVariants returns the healthy builds of the fuzz families — the
 // same generated programs after the fix predicate is enforced (locked
 // read-modify-write, ordered lock acquisition, loss-free link, atomic
-// check-then-act). They are resolvable by name but excluded from the
+// check-then-act, ack-after-fsync). They are resolvable by name but excluded from the
 // corpus, mirroring the hand-written families.
 func FixedVariants() []*scenario.Scenario {
 	var out []*scenario.Scenario

@@ -47,14 +47,15 @@ func TestForSeedCoversFamilies(t *testing.T) {
 	if len(seen) != len(Families()) {
 		t.Fatalf("only %d of %d families reachable", len(seen), len(Families()))
 	}
-	// Each pinned generator seed was chosen with gen % 4 equal to its
-	// family index, so the raw gens double as fuzz seeds for their own
-	// family (seedCorpus in fuzz_test.go relies on this).
+	// Each pinned generator seed was chosen congruent to its family index
+	// modulo the family count, so the raw gens double as fuzz seeds for
+	// their own family (seedCorpus in fuzz_test.go relies on this).
 	pins := map[Family]int64{
 		Atomicity:   atomicityGen,
 		LockCycle:   lockCycleGen,
 		LostMessage: lostMessageGen,
 		Oversell:    oversellGen,
+		CrashPoint:  crashPointGen,
 	}
 	for f, gen := range pins {
 		if got := ForSeed(gen); got.Family != f || got.GenSeed != gen {
@@ -85,10 +86,11 @@ func TestProgramsTerminate(t *testing.T) {
 // root cause, and each fixed variant never fails across a seed sweep.
 func TestCorpusDefaultsFail(t *testing.T) {
 	wantCause := map[string]string{
-		"fuzz-atomicity": "unlocked-rmw",
-		"fuzz-deadlock":  "lock-order-inversion",
-		"fuzz-lostmsg":   "lossy-link",
-		"fuzz-oversell":  "toctou-window",
+		"fuzz-atomicity":  "unlocked-rmw",
+		"fuzz-deadlock":   "lock-order-inversion",
+		"fuzz-lostmsg":    "lossy-link",
+		"fuzz-oversell":   "toctou-window",
+		"fuzz-crashpoint": "early-ack",
 	}
 	for _, s := range Corpus() {
 		v := s.Exec(scenario.ExecOptions{Seed: s.DefaultSeed})
@@ -119,8 +121,8 @@ func TestCorpusDefaultsFail(t *testing.T) {
 	}
 }
 
-// TestFamilyDistinctness: the four templates inject genuinely different
-// bugs — their default failures carry four distinct signatures.
+// TestFamilyDistinctness: the templates inject genuinely different
+// bugs — their default failures carry distinct signatures.
 func TestFamilyDistinctness(t *testing.T) {
 	sigs := make(map[string]string)
 	for _, s := range Corpus() {
@@ -131,7 +133,7 @@ func TestFamilyDistinctness(t *testing.T) {
 		}
 		sigs[sig] = s.Name
 	}
-	if len(sigs) < 4 {
+	if len(sigs) < len(Families()) {
 		t.Fatalf("only %d distinct failure signatures", len(sigs))
 	}
 }

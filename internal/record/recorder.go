@@ -120,7 +120,9 @@ func valuePolicy() Policy {
 		switch e.Kind {
 		case trace.EvLoad, trace.EvStore, trace.EvSend, trace.EvRecv,
 			trace.EvInput, trace.EvOutput, trace.EvObserve,
-			trace.EvFail, trace.EvCrash:
+			trace.EvFail, trace.EvCrash,
+			trace.EvDiskWrite, trace.EvDiskRead, trace.EvDiskFsync,
+			trace.EvDiskBarrier, trace.EvDiskCrash:
 			return LevelFull
 		}
 		return LevelSkip

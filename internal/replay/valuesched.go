@@ -35,7 +35,9 @@ func valueLogged(k trace.EventKind) bool {
 	switch k {
 	case trace.EvLoad, trace.EvStore, trace.EvSend, trace.EvRecv,
 		trace.EvInput, trace.EvOutput, trace.EvObserve,
-		trace.EvFail, trace.EvCrash:
+		trace.EvFail, trace.EvCrash,
+		trace.EvDiskWrite, trace.EvDiskRead, trace.EvDiskFsync,
+		trace.EvDiskBarrier, trace.EvDiskCrash:
 		return true
 	}
 	return false

@@ -52,27 +52,42 @@ const (
 	EvFail               // Val: failure message (program-detected failure)
 	EvCrash              // Val: crash message (fault, e.g. bounds violation)
 	EvDeadlock           // machine-detected deadlock (emitted on main thread)
+
+	// Disk kinds (DESIGN.md §7): operations on a simulated durable device.
+	// Like every other kind, Val is exactly the operation's result value, so
+	// feed derivations and value replay treat disks uniformly with memory.
+	EvDiskWrite   // Obj: disk; Val: record appended (bytes as persisted)
+	EvDiskRead    // Obj: disk; Val: record read back (bytes, possibly torn)
+	EvDiskFsync   // Obj: disk; Val: records made durable by this fsync
+	EvDiskBarrier // Obj: disk; Val: records durable after the full barrier
+	EvDiskCrash   // Obj: disk; Val: records surviving the crash (volatile tail dropped)
+
 	kindCount
 )
 
 var kindNames = [...]string{
-	EvNone:     "none",
-	EvSpawn:    "spawn",
-	EvExit:     "exit",
-	EvLoad:     "load",
-	EvStore:    "store",
-	EvLock:     "lock",
-	EvUnlock:   "unlock",
-	EvSend:     "send",
-	EvRecv:     "recv",
-	EvInput:    "input",
-	EvOutput:   "output",
-	EvYield:    "yield",
-	EvSleep:    "sleep",
-	EvObserve:  "observe",
-	EvFail:     "fail",
-	EvCrash:    "crash",
-	EvDeadlock: "deadlock",
+	EvNone:        "none",
+	EvSpawn:       "spawn",
+	EvExit:        "exit",
+	EvLoad:        "load",
+	EvStore:       "store",
+	EvLock:        "lock",
+	EvUnlock:      "unlock",
+	EvSend:        "send",
+	EvRecv:        "recv",
+	EvInput:       "input",
+	EvOutput:      "output",
+	EvYield:       "yield",
+	EvSleep:       "sleep",
+	EvObserve:     "observe",
+	EvFail:        "fail",
+	EvCrash:       "crash",
+	EvDeadlock:    "deadlock",
+	EvDiskWrite:   "disk-write",
+	EvDiskRead:    "disk-read",
+	EvDiskFsync:   "disk-fsync",
+	EvDiskBarrier: "disk-barrier",
+	EvDiskCrash:   "disk-crash",
 }
 
 // String returns the lower-case name of the kind.

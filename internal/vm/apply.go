@@ -164,6 +164,51 @@ func (m *Machine) applyOp(t *Thread) {
 		}
 		m.emit(t, trace.EvCrash, trace.NoSite, 0, trace.Str("panic: "+req.msg), trace.TaintNone)
 
+	case opDiskWrite:
+		d := &m.disks[req.obj]
+		d.recs = append(d.recs, slot{val: req.val, taint: t.taint})
+		t.result = req.val
+		m.emit(t, trace.EvDiskWrite, req.site, req.obj, req.val, t.taint)
+
+	case opDiskRead:
+		d := &m.disks[req.obj]
+		idx := int(req.deadline)
+		if idx >= 0 && idx < len(d.recs) {
+			s := d.recs[idx]
+			t.result = s.val
+			t.taint |= s.taint
+			m.emit(t, trace.EvDiskRead, req.site, req.obj, s.val, s.taint)
+		} else {
+			m.emit(t, trace.EvDiskRead, req.site, req.obj, trace.Nil, trace.TaintNone)
+		}
+
+	case opDiskFsync:
+		d := &m.disks[req.obj]
+		d.fsyncs++
+		d.durable = d.fsyncDurable(d.fsyncs)
+		t.result = trace.Int(int64(d.durable))
+		m.emit(t, trace.EvDiskFsync, req.site, req.obj, t.result, trace.TaintNone)
+
+	case opDiskBarrier:
+		d := &m.disks[req.obj]
+		d.durable = len(d.recs)
+		t.result = trace.Int(int64(d.durable))
+		m.emit(t, trace.EvDiskBarrier, req.site, req.obj, t.result, trace.TaintNone)
+
+	case opDiskCrash:
+		d := &m.disks[req.obj]
+		keep, torn := d.crashKeep()
+		if torn {
+			r := &d.recs[keep-1]
+			if len(r.val.Bytes) > d.faults.TornBytes {
+				r.val = trace.Bytes_(append([]byte(nil), r.val.Bytes[:d.faults.TornBytes]...))
+			}
+		}
+		d.recs = d.recs[:keep]
+		d.durable = keep
+		t.result = trace.Int(int64(keep))
+		m.emit(t, trace.EvDiskCrash, req.site, req.obj, t.result, trace.TaintNone)
+
 	default:
 		panic(fmt.Sprintf("vm: unknown op code %d", req.code))
 	}

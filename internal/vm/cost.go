@@ -53,6 +53,14 @@ func DefaultCostModel() CostModel {
 	c.OpCycles[trace.EvFail] = 10
 	c.OpCycles[trace.EvCrash] = 10
 	c.OpCycles[trace.EvDeadlock] = 10
+	// Disk operations: writes and reads price a device access plus payload
+	// copy; fsync and barrier price a queue drain (the barrier's
+	// write-through drain costs more); crash prices the device reset.
+	c.OpCycles[trace.EvDiskWrite] = 80
+	c.OpCycles[trace.EvDiskRead] = 40
+	c.OpCycles[trace.EvDiskFsync] = 400
+	c.OpCycles[trace.EvDiskBarrier] = 600
+	c.OpCycles[trace.EvDiskCrash] = 100
 	return c
 }
 
@@ -61,7 +69,8 @@ func DefaultCostModel() CostModel {
 func (c *CostModel) opCost(kind trace.EventKind, payload int) uint64 {
 	cost := c.ThinkCycles + c.OpCycles[kind]
 	switch kind {
-	case trace.EvSend, trace.EvRecv, trace.EvInput, trace.EvOutput:
+	case trace.EvSend, trace.EvRecv, trace.EvInput, trace.EvOutput,
+		trace.EvDiskWrite, trace.EvDiskRead:
 		cost += uint64(payload) * c.PayloadCyclesPerByte
 	}
 	return cost

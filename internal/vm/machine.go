@@ -131,8 +131,10 @@ type Machine struct {
 	mutexes []mutexState
 	chans   []chanState
 	streams []streamState
+	disks   []diskState
 
 	streamIDs map[string]trace.ObjID
+	diskIDs   map[string]trace.ObjID
 
 	threads       []*Thread
 	live          int // threads not yet done

@@ -99,6 +99,33 @@ func (m *Machine) PeekEvent(t *Thread) (PendingOp, bool) {
 		p.Kind = trace.EvCrash
 		p.Val = trace.Str(req.msg)
 		p.ValKnown = true
+	case opDiskWrite:
+		p.Kind = trace.EvDiskWrite
+		p.Val = req.val
+		p.ValKnown = true
+	case opDiskRead:
+		p.Kind = trace.EvDiskRead
+		d := &m.disks[req.obj]
+		if idx := int(req.deadline); idx >= 0 && idx < len(d.recs) {
+			p.Val = d.recs[idx].val
+		} else {
+			p.Val = trace.Nil
+		}
+		p.ValKnown = true
+	case opDiskFsync:
+		p.Kind = trace.EvDiskFsync
+		d := &m.disks[req.obj]
+		p.Val = trace.Int(int64(d.fsyncDurable(d.fsyncs + 1)))
+		p.ValKnown = true
+	case opDiskBarrier:
+		p.Kind = trace.EvDiskBarrier
+		p.Val = trace.Int(int64(len(m.disks[req.obj].recs)))
+		p.ValKnown = true
+	case opDiskCrash:
+		p.Kind = trace.EvDiskCrash
+		keep, _ := m.disks[req.obj].crashKeep()
+		p.Val = trace.Int(int64(keep))
+		p.ValKnown = true
 	default:
 		return PendingOp{}, false
 	}

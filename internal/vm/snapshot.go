@@ -61,6 +61,16 @@ type ChanSnap struct {
 	Slots []SlotSnap
 }
 
+// DiskSnap is the snapshotted state of one simulated disk: its record log
+// (oldest first, volatile tail included), the durability watermark and the
+// lifetime fsync count. The fault plane is program structure, rebuilt by
+// setup, and is not part of the snapshot.
+type DiskSnap struct {
+	Recs    []SlotSnap
+	Durable int
+	Fsyncs  int
+}
+
 // StreamSnap is the snapshotted state of one environment stream. Streams
 // may be registered lazily during execution, so the snapshot records the
 // name table: restore re-registers missing streams in snapshot order,
@@ -96,6 +106,7 @@ type Snapshot struct {
 	Mutexes []trace.ThreadID
 	Chans   []ChanSnap
 	Streams []StreamSnap
+	Disks   []DiskSnap
 }
 
 // NoRunningThread is the sentinel passed to Snapshot when no thread is
@@ -122,6 +133,7 @@ func (m *Machine) Snapshot(running trace.ThreadID) *Snapshot {
 		Mutexes:       make([]trace.ThreadID, len(m.mutexes)),
 		Chans:         make([]ChanSnap, len(m.chans)),
 		Streams:       make([]StreamSnap, len(m.streams)),
+		Disks:         make([]DiskSnap, len(m.disks)),
 	}
 	for i, t := range m.threads {
 		ts := ThreadSnap{Name: t.name, Daemon: t.daemon, Done: t.done, Taint: t.taint}
@@ -156,6 +168,14 @@ func (m *Machine) Snapshot(running trace.ThreadID) *Snapshot {
 			Outputs: append([]trace.Value(nil), st.outputs...),
 		}
 	}
+	for i := range m.disks {
+		d := &m.disks[i]
+		recs := make([]SlotSnap, len(d.recs))
+		for j := range d.recs {
+			recs[j] = SlotSnap{Val: d.recs[j].val, Taint: d.recs[j].taint}
+		}
+		s.Disks[i] = DiskSnap{Recs: recs, Durable: d.durable, Fsyncs: d.fsyncs}
+	}
 	return s
 }
 
@@ -182,6 +202,8 @@ func (s *Snapshot) EqualState(o *Snapshot) error {
 		return fmt.Errorf("mutex count %d != %d", len(s.Mutexes), len(o.Mutexes))
 	case len(s.Chans) != len(o.Chans):
 		return fmt.Errorf("chan count %d != %d", len(s.Chans), len(o.Chans))
+	case len(s.Disks) != len(o.Disks):
+		return fmt.Errorf("disk count %d != %d", len(s.Disks), len(o.Disks))
 	}
 	// Stream tables may differ by trailing untouched streams: the thread
 	// mid-event at capture time registers its next streams during feed
@@ -229,6 +251,18 @@ func (s *Snapshot) EqualState(o *Snapshot) error {
 		for j := range a {
 			if !a[j].Val.Equal(b[j].Val) || a[j].Taint != b[j].Taint {
 				return fmt.Errorf("chan %d slot %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+	}
+	for i := range s.Disks {
+		a, b := s.Disks[i], o.Disks[i]
+		if a.Durable != b.Durable || a.Fsyncs != b.Fsyncs || len(a.Recs) != len(b.Recs) {
+			return fmt.Errorf("disk %d state %d/%d/%d != %d/%d/%d",
+				i, len(a.Recs), a.Durable, a.Fsyncs, len(b.Recs), b.Durable, b.Fsyncs)
+		}
+		for j := range a.Recs {
+			if !a.Recs[j].Val.Equal(b.Recs[j].Val) || a.Recs[j].Taint != b.Recs[j].Taint {
+				return fmt.Errorf("disk %d record %d: %v != %v", i, j, a.Recs[j], b.Recs[j])
 			}
 		}
 	}
@@ -308,6 +342,16 @@ func feedCompatible(code opCode, kind trace.EventKind) bool {
 		return kind == trace.EvFail
 	case opCrash:
 		return kind == trace.EvCrash
+	case opDiskWrite:
+		return kind == trace.EvDiskWrite
+	case opDiskRead:
+		return kind == trace.EvDiskRead
+	case opDiskFsync:
+		return kind == trace.EvDiskFsync
+	case opDiskBarrier:
+		return kind == trace.EvDiskBarrier
+	case opDiskCrash:
+		return kind == trace.EvDiskCrash
 	}
 	return false
 }
@@ -370,6 +414,8 @@ func Restore(cfg Config, setup func(*Machine) func(*Thread), snap *Snapshot, fee
 		return nil, fmt.Errorf("vm: restore: program has %d mutexes, snapshot %d", len(m.mutexes), len(snap.Mutexes))
 	case len(m.chans) != len(snap.Chans):
 		return nil, fmt.Errorf("vm: restore: program has %d chans, snapshot %d", len(m.chans), len(snap.Chans))
+	case len(m.disks) != len(snap.Disks):
+		return nil, fmt.Errorf("vm: restore: program has %d disks, snapshot %d", len(m.disks), len(snap.Disks))
 	case len(m.streams) > len(snap.Streams):
 		// Streams may be registered lazily during execution, so the built
 		// program can know fewer than the snapshot — never more.
@@ -494,6 +540,16 @@ func Restore(cfg Config, setup func(*Machine) func(*Thread), snap *Snapshot, fee
 		st.inputs = append(st.inputs[:0], ss.Inputs...)
 		st.outputs = append(st.outputs[:0], ss.Outputs...)
 	}
+	for i := range m.disks {
+		d := &m.disks[i]
+		ds := &snap.Disks[i]
+		d.recs = d.recs[:0]
+		for _, sl := range ds.Recs {
+			d.recs = append(d.recs, slot{val: sl.Val, taint: sl.Taint})
+		}
+		d.durable = ds.Durable
+		d.fsyncs = ds.Fsyncs
+	}
 	m.clock = snap.Clock
 	m.seq = snap.Seq
 	m.recordCycles = snap.RecordCycles
@@ -509,7 +565,9 @@ var opNames = [...]string{
 	opTryRecv: "try-recv", opRecvTimeout: "recv-timeout", opInput: "input",
 	opOutput: "output", opYield: "yield", opSleep: "sleep", opObserve: "observe",
 	opSpawn: "spawn", opExit: "exit", opFail: "fail", opCrash: "crash",
-	opPanic: "panic",
+	opPanic: "panic", opDiskWrite: "disk-write", opDiskRead: "disk-read",
+	opDiskFsync: "disk-fsync", opDiskBarrier: "disk-barrier",
+	opDiskCrash: "disk-crash",
 }
 
 // OpName renders a ThreadSnap.PendingCode as the operation's lower-case
@@ -563,6 +621,8 @@ func (m *Machine) describePending(t *Thread) string {
 		obj = m.ChanName(req.obj)
 	case opInput, opOutput:
 		obj = m.StreamName(req.obj)
+	case opDiskWrite, opDiskRead, opDiskFsync, opDiskBarrier, opDiskCrash:
+		obj = m.DiskName(req.obj)
 	}
 	if obj == "" {
 		return OpName(uint8(req.code))

@@ -38,6 +38,11 @@ const (
 	opFail
 	opCrash
 	opPanic
+	opDiskWrite
+	opDiskRead
+	opDiskFsync
+	opDiskBarrier
+	opDiskCrash
 )
 
 // opReq is a pending operation, filled in by the thread before parking.
@@ -299,6 +304,45 @@ func (t *Thread) Spawn(site trace.SiteID, name string, body func(*Thread)) trace
 func (t *Thread) SpawnDaemon(site trace.SiteID, name string, body func(*Thread)) trace.ThreadID {
 	v := t.syscall(opReq{code: opSpawn, site: site, childName: name, childBody: body, msg: "daemon"})
 	return trace.ThreadID(v.AsInt())
+}
+
+// DiskWrite appends a record to a simulated disk. The record is volatile
+// (lost on DiskCrash) until an fsync or barrier makes it durable.
+func (t *Thread) DiskWrite(site trace.SiteID, disk trace.ObjID, v trace.Value) {
+	t.syscall(opReq{code: opDiskWrite, site: site, obj: disk, val: v})
+}
+
+// DiskRead returns the disk record at index idx (0 = oldest), or Nil when
+// idx is past the end of the log. Reading is how recovery code scans the
+// device after a crash: records never hold Nil, so a Nil result is
+// end-of-log. The record's provenance joins the thread's taint register.
+func (t *Thread) DiskRead(site trace.SiteID, disk trace.ObjID, idx int) trace.Value {
+	return t.syscall(opReq{code: opDiskRead, site: site, obj: disk, deadline: uint64(idx)})
+}
+
+// DiskFsync flushes the disk's volatile records and returns the durability
+// watermark (how many records now survive a crash). Under the
+// fsync-reordering fault one chosen fsync acknowledges with the newest
+// record still volatile — a correct program compares the returned watermark
+// against what it wrote, or uses DiskBarrier where durability is load-bearing.
+func (t *Thread) DiskFsync(site trace.SiteID, disk trace.ObjID) int64 {
+	return t.syscall(opReq{code: opDiskFsync, site: site, obj: disk}).AsInt()
+}
+
+// DiskBarrier is a full write-through flush: every record becomes durable,
+// fault plane or not. It returns the durability watermark.
+func (t *Thread) DiskBarrier(site trace.SiteID, disk trace.ObjID) int64 {
+	return t.syscall(opReq{code: opDiskBarrier, site: site, obj: disk}).AsInt()
+}
+
+// DiskCrash models a whole-node power loss from the device's point of view:
+// the volatile tail of the log disappears (modulo the torn-write fault,
+// which may leave a truncated first volatile record behind) while durable
+// records persist. It returns how many records survived. The calling thread
+// keeps running — it plays the rebooted node, wiping its own volatile cells
+// and re-reading the disk, so crash-restart stays inside one execution.
+func (t *Thread) DiskCrash(site trace.SiteID, disk trace.ObjID) int64 {
+	return t.syscall(opReq{code: opDiskCrash, site: site, obj: disk}).AsInt()
 }
 
 // Fail reports a program-detected failure (an assertion on the program's

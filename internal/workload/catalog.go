@@ -14,9 +14,11 @@ import (
 // §3's buffer overflow), the §4 Hypertable case study, two breadth
 // scenarios, the Dynamo-style replication family (stale reads under
 // weak quorums, deleted-data resurrection, lost hinted-handoff writes),
-// and the generated fuzz family (one seed-parameterized scenario per
-// progen bug template, pinned to a failing default; any other generator
-// seed is reproducible via Params{"gen": seed}).
+// the durability family (torn-WAL corruption, fsync-reordering loss,
+// snapshot resurrection — crash-restart bugs on the simulated disk), and
+// the generated fuzz family (one seed-parameterized scenario per progen
+// bug template, pinned to a failing default; any other generator seed is
+// reproducible via Params{"gen": seed}).
 func All() []*scenario.Scenario {
 	out := []*scenario.Scenario{
 		Sum(),
@@ -27,6 +29,7 @@ func All() []*scenario.Scenario {
 		Deadlock(),
 	}
 	out = append(out, dynokv.Family()...)
+	out = append(out, dynokv.DurableFamily()...)
 	return append(out, progen.Corpus()...)
 }
 
@@ -39,6 +42,7 @@ func All() []*scenario.Scenario {
 func Variants() []*scenario.Scenario {
 	out := []*scenario.Scenario{hyperkv.FixedScenario()}
 	out = append(out, dynokv.FixedVariants()...)
+	out = append(out, dynokv.DurableFixedVariants()...)
 	out = append(out, progen.FixedVariants()...)
 	return append(out, progen.Sustained())
 }

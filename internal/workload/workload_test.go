@@ -10,8 +10,8 @@ import (
 
 func TestCatalogIsStable(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("corpus has %d scenarios, want 13", len(all))
+	if len(all) != 17 {
+		t.Fatalf("corpus has %d scenarios, want 17", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, s := range all {
@@ -66,6 +66,27 @@ func TestDynoKVFamilyRegistered(t *testing.T) {
 	}
 }
 
+// TestDurableFamilyRegistered pins the catalog contract for the
+// durability family: every disk scenario and its fixed variant resolve by
+// name.
+func TestDurableFamilyRegistered(t *testing.T) {
+	names := make(map[string]bool)
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"disk-tornwal", "disk-fsyncloss", "disk-snapres",
+		"disk-tornwal-fixed", "disk-fsyncloss-fixed", "disk-snapres-fixed",
+	} {
+		if !names[want] {
+			t.Errorf("Names() is missing %q", want)
+		}
+		if _, err := ByName(want); err != nil {
+			t.Errorf("ByName(%q): %v", want, err)
+		}
+	}
+}
+
 // TestFuzzFamilyRegistered pins the catalog contract for the generated
 // family: every fuzz scenario and its fixed variant resolve by name, and
 // an arbitrary generator seed is reproducible through the "gen" param.
@@ -75,8 +96,9 @@ func TestFuzzFamilyRegistered(t *testing.T) {
 		names[n] = true
 	}
 	for _, want := range []string{
-		"fuzz-atomicity", "fuzz-deadlock", "fuzz-lostmsg", "fuzz-oversell",
+		"fuzz-atomicity", "fuzz-deadlock", "fuzz-lostmsg", "fuzz-oversell", "fuzz-crashpoint",
 		"fuzz-atomicity-fixed", "fuzz-deadlock-fixed", "fuzz-lostmsg-fixed", "fuzz-oversell-fixed",
+		"fuzz-crashpoint-fixed",
 	} {
 		if !names[want] {
 			t.Errorf("Names() is missing %q", want)
@@ -130,10 +152,14 @@ func TestDefaultSeedsFail(t *testing.T) {
 		"dynokv-staleread": "weak-quorum",
 		"dynokv-resurrect": "tombstone-gc",
 		"dynokv-losthint":  "hint-abandoned",
+		"disk-tornwal":     "torn-loose-decode",
+		"disk-fsyncloss":   "fsync-reordered",
+		"disk-snapres":     "missing-tombstone",
 		"fuzz-atomicity":   "unlocked-rmw",
 		"fuzz-deadlock":    "lock-order-inversion",
 		"fuzz-lostmsg":     "lossy-link",
 		"fuzz-oversell":    "toctou-window",
+		"fuzz-crashpoint":  "early-ack",
 	}
 	for _, s := range All() {
 		s := s

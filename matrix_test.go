@@ -46,6 +46,20 @@ func TestFullMatrix(t *testing.T) {
 		"dynokv-losthint": {
 			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
 		},
+		// The durability family (simulated-disk crash-restart bugs): the
+		// fsync-reordering loss is the interesting row — output and failure
+		// determinism satisfy their contracts with a device-loss
+		// explanation (DF 1/2) while value determinism and RCSE reproduce
+		// the real reordering.
+		"disk-tornwal": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"disk-fsyncloss": {
+			Perfect: 1, Value: 1, Output: 0.5, Failure: 0.5, DebugRCSE: 1,
+		},
+		"disk-snapres": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
 		// The generated fuzz family (internal/progen): small programs with
 		// pinned failing defaults, so every model converges within budget;
 		// the differential oracles in internal/progen sweep the wider seed
@@ -60,6 +74,9 @@ func TestFullMatrix(t *testing.T) {
 			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
 		},
 		"fuzz-oversell": {
+			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
+		},
+		"fuzz-crashpoint": {
 			Perfect: 1, Value: 1, Output: 1, Failure: 1, DebugRCSE: 1,
 		},
 	}

@@ -2,6 +2,7 @@ package debugdet_test
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,9 +81,10 @@ func TestPublicFlightRecorder(t *testing.T) {
 	}
 }
 
-// TestPublicOptionValidation pins the Options contract: a negative
-// CheckpointInterval is rejected with a clear error everywhere options
-// flow, and streaming recording requires a spill directory.
+// TestPublicOptionValidation pins the Options contract: negative
+// CheckpointInterval, RingSegments and Retention are rejected with a
+// clear error everywhere options flow, and streaming recording requires
+// a spill directory.
 func TestPublicOptionValidation(t *testing.T) {
 	eng := debugdet.New()
 	s, err := eng.ByName("bank")
@@ -103,5 +105,31 @@ func TestPublicOptionValidation(t *testing.T) {
 	_, err = eng.RecordStreaming(context.Background(), s, debugdet.Options{})
 	if err == nil || !strings.Contains(err.Error(), "SpillDir") {
 		t.Fatalf("missing spill dir: err = %v", err)
+	}
+	// Negative flight-recorder knobs are rejected before any file is
+	// created, both through the engine and at the recorder layer: a
+	// negative ring would never seal a segment, a negative retention would
+	// evict everything.
+	for _, tc := range []struct {
+		name string
+		fo   debugdet.FlightRecorderOptions
+	}{
+		{"RingSegments", debugdet.FlightRecorderOptions{SpillDir: t.TempDir(), RingSegments: -1}},
+		{"Retention", debugdet.FlightRecorderOptions{SpillDir: t.TempDir(), Retention: -2}},
+	} {
+		fo := tc.fo
+		_, err = eng.RecordStreaming(context.Background(), s, debugdet.Options{FlightRecorder: &fo})
+		if err == nil || !strings.Contains(err.Error(), tc.name) {
+			t.Fatalf("negative %s on RecordStreaming: err = %v", tc.name, err)
+		}
+		if entries, dirErr := os.ReadDir(fo.SpillDir); dirErr != nil || len(entries) != 0 {
+			t.Fatalf("rejected options still touched spill dir %s: %v %v", fo.SpillDir, entries, dirErr)
+		}
+		// Record ignores FlightRecorder but still validates it, so a bad
+		// value surfaces even on the non-streaming path.
+		_, _, err = eng.Record(context.Background(), s, debugdet.Perfect, debugdet.Options{FlightRecorder: &fo})
+		if err == nil || !strings.Contains(err.Error(), tc.name) {
+			t.Fatalf("negative %s on Record: err = %v", tc.name, err)
+		}
 	}
 }

@@ -45,6 +45,13 @@ const (
 	EvFail     = itrace.EvFail     // Val: failure message (program-detected)
 	EvCrash    = itrace.EvCrash    // Val: crash message (fault)
 	EvDeadlock = itrace.EvDeadlock // machine-detected deadlock
+
+	// Simulated-disk operations (DESIGN.md §7).
+	EvDiskWrite   = itrace.EvDiskWrite   // Obj: disk; Val: record appended (volatile until fsync)
+	EvDiskRead    = itrace.EvDiskRead    // Obj: disk; Val: record read (Nil past end of log)
+	EvDiskFsync   = itrace.EvDiskFsync   // Obj: disk; Val: durable watermark after the fsync
+	EvDiskBarrier = itrace.EvDiskBarrier // Obj: disk; Val: durable watermark (never reordered)
+	EvDiskCrash   = itrace.EvDiskCrash   // Obj: disk; Val: records surviving the crash
 )
 
 // Taint is a small bit set describing the provenance of a value: which
