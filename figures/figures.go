@@ -102,3 +102,16 @@ func TableCheckpoint(o Options) ([]CkptRow, error) { return eval.TableCheckpoint
 
 // RenderTableCheckpoint prints T-CKPT.
 func RenderTableCheckpoint(rows []CkptRow) string { return eval.RenderTableCheckpoint(rows) }
+
+// StatRow is one deadlock-family measurement of static search seeding.
+type StatRow = eval.StatRow
+
+// StatScenarios lists the deadlock family measured by TableStat.
+func StatScenarios() []string { return append([]string(nil), eval.StatScenarios...) }
+
+// TableStat measures how detlint's static lock-order triage seeds the
+// failure-determinism search (T-STAT): same accepted execution, less work.
+func TableStat(o Options) ([]StatRow, error) { return eval.TableStat(o) }
+
+// RenderTableStat prints T-STAT.
+func RenderTableStat(rows []StatRow) string { return eval.RenderTableStat(rows) }

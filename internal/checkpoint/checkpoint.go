@@ -112,6 +112,7 @@ func Feeds(events []trace.Event, seq uint64, threads int) ([][]vm.FeedEntry, err
 			return nil, fmt.Errorf("checkpoint: event %d belongs to thread %d, snapshot has %d threads", i, e.TID, threads)
 		}
 		fe := vm.FeedEntry{Kind: e.Kind, OK: true}
+		//lint:exhaustive-default kinds without replay payloads need no feed fields; the zero FeedEntry is correct for them
 		switch e.Kind {
 		case trace.EvLoad, trace.EvRecv, trace.EvInput, trace.EvDiskRead:
 			// The event's taint is the provenance of the value read — the
@@ -206,6 +207,7 @@ func RehydrateStreams(snaps []*vm.Snapshot, events []trace.Event) error {
 		}
 		for i := uint64(0); i < s.Seq; i++ {
 			e := &events[i]
+			//lint:exhaustive-default only stream events rebuild Inputs/Outputs; other kinds do not touch streams
 			switch e.Kind {
 			case trace.EvInput, trace.EvOutput:
 				if int(e.Obj) >= len(s.Streams) {

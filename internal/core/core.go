@@ -20,6 +20,7 @@ import (
 	"debugdet/internal/checkpoint"
 	"debugdet/internal/flightrec"
 	"debugdet/internal/invariant"
+	"debugdet/internal/lint/sites"
 	"debugdet/internal/metrics"
 	"debugdet/internal/plane"
 	"debugdet/internal/rcse"
@@ -96,6 +97,11 @@ type Options struct {
 	// on-disk retention cap. Only RecordStreaming reads it; Record and
 	// Evaluate build monolithic recordings and ignore it.
 	FlightRecorder *flightrec.Options
+	// Suspects are statically implicated lock-order inversions (detlint's
+	// lockorder analysis via sites.Triage). They seed failure-determinism
+	// replay search (PCT candidates first; see infer.Options.Suspects)
+	// and arm the RCSE suspect selector for debug-determinism recordings.
+	Suspects []sites.Suspect
 }
 
 // validate rejects option values that would otherwise be silently
@@ -277,6 +283,7 @@ func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation,
 		ShrinkParams: o.ShrinkParams,
 		MaxSteps:     o.MaxSteps,
 		Workers:      o.Workers,
+		Suspects:     o.Suspects,
 	})
 	if rep.Err != nil {
 		return nil, rep.Err
@@ -325,6 +332,7 @@ func PrepareRCSE(s *scenario.Scenario, o Options) (rcse.Config, error) {
 		ControlStreams: s.ControlStreams,
 		QuietPeriod:    o.RCSE.QuietPeriod,
 		Thresholds:     o.RCSE.Thresholds,
+		Suspects:       o.Suspects,
 	}
 	if !o.RCSE.DisableCodeSelection {
 		if err := o.Ctx.Err(); err != nil {

@@ -1,0 +1,45 @@
+package eval
+
+import "testing"
+
+// TestTableStatPins locks in the static-seeding contract on the deadlock
+// family: the seeded search accepts the bit-identical execution as the
+// unseeded one while spending strictly less work, for every family member
+// and every aggregated search seed. The attempt totals are pinned exactly
+// — the whole pipeline is deterministic, so a drift here means candidate
+// identity or the partition order changed.
+func TestTableStatPins(t *testing.T) {
+	rows, err := TableStat(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(StatScenarios) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(StatScenarios))
+	}
+	want := map[string][2]int{
+		"deadlock":      {12, 11},
+		"fuzz-deadlock": {14, 13},
+	}
+	for _, r := range rows {
+		if r.Suspects < 1 {
+			t.Errorf("%s: no suspects", r.Scenario)
+		}
+		if !r.Identical {
+			t.Errorf("%s: seeded search accepted a different execution", r.Scenario)
+		}
+		if r.SeededAttempts >= r.BaseAttempts {
+			t.Errorf("%s: attempts %d -> %d, want a reduction",
+				r.Scenario, r.BaseAttempts, r.SeededAttempts)
+		}
+		if r.SeededWorkSteps >= r.BaseWorkSteps {
+			t.Errorf("%s: worksteps %d -> %d, want a reduction",
+				r.Scenario, r.BaseWorkSteps, r.SeededWorkSteps)
+		}
+		if w, ok := want[r.Scenario]; !ok {
+			t.Errorf("unexpected scenario %s", r.Scenario)
+		} else if r.BaseAttempts != w[0] || r.SeededAttempts != w[1] {
+			t.Errorf("%s: attempts %d -> %d, want %d -> %d",
+				r.Scenario, r.BaseAttempts, r.SeededAttempts, w[0], w[1])
+		}
+	}
+}

@@ -408,6 +408,7 @@ func writeFeedHeader(bw *bufio.Writer) {
 func writeFeedEntry(bw *bufio.Writer, e *trace.Event) {
 	writeVarint(bw, int64(e.TID))
 	bw.WriteByte(byte(e.Kind))
+	//lint:exhaustive-default payloadless kinds encode as the kind byte alone; readFeedLog mirrors this set
 	switch e.Kind {
 	case trace.EvLoad, trace.EvRecv, trace.EvDiskRead:
 		trace.WriteValue(bw, e.Val)
@@ -453,6 +454,7 @@ func readFeedLog(r io.Reader, fn func(i uint64, fe *feedEntry) error) (uint64, e
 			return count, fmt.Errorf("%w: feed entry %d: bad kind %d", ErrCorrupt, count, kb)
 		}
 		fe.Kind = trace.EventKind(kb)
+		//lint:exhaustive-default mirrors writeFeedEntry: payloadless kinds have no record body to read
 		switch fe.Kind {
 		case trace.EvLoad, trace.EvRecv, trace.EvDiskRead:
 			if fe.Val, err = readValue(br); err != nil {
@@ -509,6 +511,7 @@ func readFeedLog(r io.Reader, fn func(i uint64, fe *feedEntry) error) (uint64, e
 // checkpoint.Feeds' per-kind rules exactly.
 func (fe *feedEntry) feed() vm.FeedEntry {
 	out := vm.FeedEntry{Kind: fe.Kind, OK: true}
+	//lint:exhaustive-default mirrors checkpoint.Feeds: kinds without replay payloads keep the zero FeedEntry fields
 	switch fe.Kind {
 	case trace.EvLoad, trace.EvRecv, trace.EvInput, trace.EvDiskRead:
 		out.Val = fe.Val

@@ -300,6 +300,7 @@ func (ds *DiskStore) scanFeeds() (*feedData, error) {
 		fd.perThread[tid] = append(fd.perThread[tid], fe.feed())
 		perTID[tid]++
 		fd.sched = append(fd.sched, fe.TID)
+		//lint:exhaustive-default only stream events feed the rehydrated inputs and io index; other kinds are schedule-only here
 		switch fe.Kind {
 		case trace.EvInput:
 			if int(fe.Obj) >= len(streams) {

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 
+	"debugdet/internal/lint/sites"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
 	"debugdet/internal/vm"
@@ -61,6 +62,20 @@ type Options struct {
 	Schedule []trace.ThreadID
 	// MaxSteps bounds each candidate execution (0 = VM default).
 	MaxSteps uint64
+	// Suspects are statically implicated lock-order inversions (from
+	// detlint's lockorder analysis via sites.Triage). When non-empty and
+	// no schedule is forced, the search visits its uniform-random
+	// candidates before its PCT ones: an ABBA deadlock fires only when
+	// both threads are preempted inside the hold-one-wait-for-the-other
+	// window, and PCT's long single-thread priority runs serialize the
+	// critical sections right past it, while random interleaving samples
+	// the window directly. Seeding is a stable reordering — every
+	// candidate keeps its identity (seed, scheduler, inputs, note, all
+	// keyed on the candidate's original index) — so whenever the
+	// unseeded search would accept a random-scheduler candidate, the
+	// seeded search accepts the bit-identical execution and only
+	// Attempts/WorkCycles/WorkSteps shrink.
+	Suspects []sites.Suspect
 	// Workers is the number of candidate executions run concurrently
 	// (default GOMAXPROCS; 1 opts out of parallelism). Candidates are
 	// bit-deterministic functions of their index, so the Outcome —
@@ -93,15 +108,19 @@ type Outcome struct {
 	Err error
 }
 
-// paramTry is one slot of the candidate plan.
+// paramTry is one slot of the candidate plan. idx is the candidate's
+// original plan index, which — not the visiting position — keys the
+// candidate's seed, scheduler, inputs and note, so reordering the plan
+// (static seeding) changes what is tried first, never what is tried.
 type paramTry struct {
 	p    scenario.Params
 	note string
+	idx  int
 }
 
 // buildPlan lays out the parameter schedule: shrunken configurations first
 // (a few tries each), then the full configuration for the remaining
-// budget.
+// budget; static seeding then reorders the visiting order.
 func buildPlan(s *scenario.Scenario, o Options) []paramTry {
 	var plan []paramTry
 	perShrink := o.Budget / 8
@@ -120,18 +139,46 @@ func buildPlan(s *scenario.Scenario, o Options) []paramTry {
 	if len(plan) > o.Budget {
 		plan = plan[:o.Budget]
 	}
-	return plan
+	for i := range plan {
+		plan[i].idx = i
+	}
+	return prioritize(plan, o)
 }
 
-// runCandidate executes the i-th candidate of the plan. Candidates are
-// bit-deterministic functions of (scenario, options, index) and share no
+// prioritize applies static seeding: with lock-order suspects in hand and
+// no forced schedule, visit the uniform-random candidates first and defer
+// the PCT ones (stable partition — relative order within each class is
+// preserved; see Options.Suspects for why random wins on ABBA windows).
+// Candidate identity is keyed on paramTry.idx, so this changes only the
+// visiting order.
+func prioritize(plan []paramTry, o Options) []paramTry {
+	if len(o.Suspects) == 0 || o.Schedule != nil {
+		return plan
+	}
+	out := make([]paramTry, 0, len(plan))
+	for _, pt := range plan {
+		if !usesPCT(int64(pt.idx)) {
+			out = append(out, pt)
+		}
+	}
+	for _, pt := range plan {
+		if usesPCT(int64(pt.idx)) {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// runCandidate executes one candidate of the plan. Candidates are
+// bit-deterministic functions of (scenario, options, pt.idx) and share no
 // mutable state, which is what makes the search embarrassingly parallel.
-func runCandidate(s *scenario.Scenario, o Options, pt paramTry, i int) *scenario.RunView {
+func runCandidate(s *scenario.Scenario, o Options, pt paramTry) *scenario.RunView {
+	i := int64(pt.idx)
 	return s.Exec(scenario.ExecOptions{
-		Seed:      o.BaseSeed + int64(i),
+		Seed:      o.BaseSeed + i,
 		Params:    pt.p,
-		Scheduler: candidateScheduler(o, int64(i)),
-		Inputs:    candidateInputs(s, o, pt.p, int64(i)),
+		Scheduler: candidateScheduler(o, i),
+		Inputs:    candidateInputs(s, o, pt.p, i),
 		MaxSteps:  o.MaxSteps,
 	})
 }
@@ -174,13 +221,13 @@ func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options
 // index order. searchParallel is defined to be outcome-equivalent to it.
 func searchSeq(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options, plan []paramTry) *Outcome {
 	out := &Outcome{}
-	for i, pt := range plan {
+	for _, pt := range plan {
 		if err := o.Ctx.Err(); err != nil {
 			out.Err = err
 			out.Note = "search canceled"
 			return out
 		}
-		view := runCandidate(s, o, pt, i)
+		view := runCandidate(s, o, pt)
 		out.Attempts++
 		out.WorkCycles += view.Result.Cycles
 		out.WorkSteps += view.Result.Steps
@@ -188,7 +235,7 @@ func searchSeq(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Opti
 			out.View = view
 			out.Ok = true
 			out.AcceptedParams = pt.p
-			out.Note = fmt.Sprintf("%s attempt %d", pt.note, i)
+			out.Note = fmt.Sprintf("%s attempt %d", pt.note, pt.idx)
 			return out
 		}
 	}
@@ -246,7 +293,7 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				view := runCandidate(s, o, plan[i], i)
+				view := runCandidate(s, o, plan[i])
 				select {
 				case resCh <- candResult{idx: i, view: view}:
 				case <-stop:
@@ -281,7 +328,7 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 		}
 		delete(pending, cursor)
 		tokens <- struct{}{} // consumed one: let the feeder dispatch one more
-		i, pt := cursor, plan[cursor]
+		pt := plan[cursor]
 		cursor++
 		out.Attempts++
 		out.WorkCycles += view.Result.Cycles
@@ -290,7 +337,7 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 			out.View = view
 			out.Ok = true
 			out.AcceptedParams = pt.p
-			out.Note = fmt.Sprintf("%s attempt %d", pt.note, i)
+			out.Note = fmt.Sprintf("%s attempt %d", pt.note, pt.idx)
 			close(stop)
 			wg.Wait()
 			return out
@@ -310,13 +357,16 @@ func candidateScheduler(o Options, i int64) vm.Scheduler {
 		return vm.NewReplayScheduler(o.Schedule)
 	}
 	seed := mix(o.BaseSeed, i)
-	if i%3 == 2 {
-		// Every third candidate uses PCT to reach low-probability
-		// orderings that uniform random sampling misses.
+	if usesPCT(i) {
 		return vm.NewPCTScheduler(seed, 4096, 3)
 	}
 	return vm.NewRandomScheduler(seed)
 }
+
+// usesPCT reports whether candidate i uses the PCT scheduler: every third
+// candidate, to reach low-probability orderings that uniform random
+// sampling misses. prioritize keys static seeding on the same predicate.
+func usesPCT(i int64) bool { return i%3 == 2 }
 
 // candidateInputs builds the i-th candidate's input source: forced
 // recorded streams over a searched base.

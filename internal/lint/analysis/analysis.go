@@ -1,0 +1,142 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The x/tools
+// module is deliberately not vendored — the container builds offline — so
+// detlint carries just the slice of the API the repo's analyzers need,
+// with the same shape so the suite could be rebased onto the real driver
+// without touching analyzer code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and in
+// the driver's -only filter; Doc is the one-paragraph help text.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Report. The result value is unused by the driver (kept for
+	// x/tools API symmetry); a non-nil error aborts the whole run.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps AST positions to file:line. It is shared by every package
+	// of the run.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+	// Pkg and TypesInfo are the type-checker's outputs.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package import path ("debugdet/internal/vm").
+	PkgPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned in the fileset of the pass.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Directive is one //lint:<name> <justification> comment, resolved to the
+// line it annotates.
+type Directive struct {
+	Name          string
+	Justification string
+	Line          int
+}
+
+// DirectivePrefix starts every detlint annotation comment.
+const DirectivePrefix = "//lint:"
+
+// Directives collects the //lint: annotations of a file, keyed by the line
+// they govern. A directive governs its own line (trailing comment) and,
+// when it stands alone on a line, the next line — so both
+//
+//	t.Lock(s, a) //lint:nondet-ok reason
+//
+// and
+//
+//	//lint:exhaustive-default reason
+//	default:
+//
+// work.
+type Directives struct {
+	byLine map[int][]Directive
+}
+
+// FileDirectives scans one file's comments for annotations.
+func FileDirectives(fset *token.FileSet, f *ast.File) *Directives {
+	d := &Directives{byLine: make(map[int][]Directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, DirectivePrefix)
+			name, just, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			dir := Directive{
+				Name:          strings.TrimSpace(name),
+				Justification: strings.TrimSpace(just),
+				Line:          pos.Line,
+			}
+			d.byLine[pos.Line] = append(d.byLine[pos.Line], dir)
+			// A directive alone on its line also annotates the next line.
+			d.byLine[pos.Line+1] = append(d.byLine[pos.Line+1], dir)
+		}
+	}
+	return d
+}
+
+// At returns the directive with the given name governing pos, if any.
+func (d *Directives) At(fset *token.FileSet, pos token.Pos, name string) (Directive, bool) {
+	line := fset.Position(pos).Line
+	for _, dir := range d.byLine[line] {
+		if dir.Name == name {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}
+
+// NamedType unwraps t to its named form, following aliases; nil when the
+// type has no name (builtins, composites).
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// TypePath renders a named type as "pkgpath.Name" ("Name" for types in the
+// universe or without a package).
+func TypePath(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,183 @@
+// Package docs implements the documentation analyzer — the former
+// cmd/docslint, rebased onto the shared detlint driver. Every public SDK
+// package must carry a package comment and godoc on each exported symbol;
+// the listed internal packages (the subsystems DESIGN.md documents) only
+// need their package comment.
+//
+// Unlike the old command, this pass reads the parsed ASTs directly rather
+// than go/doc: doc.New rewrites the syntax trees it is given, and the
+// driver shares one AST per package across the whole suite. The
+// documented-ness rules are the godoc ones — a symbol is documented if its
+// own spec or its enclosing declaration group carries a leading doc
+// comment (trailing line comments are not godoc).
+package docs
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"debugdet/internal/lint/analysis"
+)
+
+// Targets maps a package import path to whether its exported symbols need
+// godoc (true for the public SDK surface) or only the package comment
+// (false, for documented internal subsystems). Packages not listed are
+// ignored. Tests override this for fixture trees.
+var Targets = map[string]bool{
+	"debugdet":                     true,
+	"debugdet/sim":                 true,
+	"debugdet/scen":                true,
+	"debugdet/trace":               true,
+	"debugdet/figures":             true,
+	"debugdet/internal/checkpoint": false,
+	"debugdet/internal/flightrec":  false,
+	"debugdet/internal/simdisk":    false,
+}
+
+// Analyzer is the docs pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "docs",
+	Doc: "public SDK packages need a package comment and godoc on every " +
+		"exported symbol; listed internal packages need the package comment",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	exported, ok := Targets[pass.PkgPath]
+	if !ok {
+		return nil, nil
+	}
+	checkPackageComment(pass)
+	if !exported {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkGenDecl(pass, d)
+			case *ast.FuncDecl:
+				checkFuncDecl(pass, f, d)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkPackageComment requires a package comment on some file of the
+// package, reporting once at the first file (by name) when absent.
+func checkPackageComment(pass *analysis.Pass) {
+	files := append([]*ast.File(nil), pass.Files...)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Package).Filename <
+			pass.Fset.Position(files[j].Package).Filename
+	})
+	for _, f := range files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	if len(files) > 0 {
+		pass.Reportf(files[0].Name.Pos(),
+			"package %s has no package comment", pass.PkgPath)
+	}
+}
+
+// checkGenDecl enforces godoc on exported consts, vars and types. A spec
+// is documented if it has its own doc comment or its enclosing declaration
+// group has one.
+func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl) {
+	groupDoc := commented(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			names := exportedIdents(s.Names)
+			if len(names) == 0 {
+				continue
+			}
+			if groupDoc || commented(s.Doc) {
+				continue
+			}
+			pass.Reportf(names[0].Pos(), "exported %s %s has no doc comment",
+				kindWord(d.Tok), identNames(names))
+		case *ast.TypeSpec:
+			if !token.IsExported(s.Name.Name) {
+				continue
+			}
+			if groupDoc || commented(s.Doc) {
+				continue
+			}
+			pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+		}
+	}
+}
+
+// checkFuncDecl enforces godoc on exported functions and on exported
+// methods of exported types.
+func checkFuncDecl(pass *analysis.Pass, f *ast.File, d *ast.FuncDecl) {
+	if !token.IsExported(d.Name.Name) {
+		return
+	}
+	label := "func " + d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv := receiverTypeName(d.Recv.List[0].Type)
+		if recv == "" || !token.IsExported(recv) {
+			return
+		}
+		label = "method " + recv + "." + d.Name.Name
+	}
+	if commented(d.Doc) {
+		return
+	}
+	pass.Reportf(d.Name.Pos(), "exported %s has no doc comment", label)
+}
+
+// receiverTypeName extracts the receiver's type name, unwrapping pointers
+// and generics.
+func receiverTypeName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}
+
+func commented(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+func exportedIdents(ids []*ast.Ident) []*ast.Ident {
+	var out []*ast.Ident
+	for _, id := range ids {
+		if token.IsExported(id.Name) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func identNames(ids []*ast.Ident) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = id.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func kindWord(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return tok.String()
+}

@@ -1,0 +1,18 @@
+package docs_test
+
+import (
+	"testing"
+
+	"debugdet/internal/lint/analysistest"
+	"debugdet/internal/lint/docs"
+)
+
+func TestFixtures(t *testing.T) {
+	defer func(old map[string]bool) { docs.Targets = old }(docs.Targets)
+	docs.Targets = map[string]bool{
+		"docfix":             true,
+		"docfix/internalpkg": false,
+	}
+	analysistest.Run(t, analysistest.Testdata(), docs.Analyzer,
+		"docfix", "docfix/internalpkg")
+}

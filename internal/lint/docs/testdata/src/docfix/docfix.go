@@ -1,0 +1,37 @@
+// Package docfix is the docs golden fixture: a public-surface package with
+// documented and undocumented exported symbols.
+package docfix
+
+// Documented carries godoc: clean.
+const Documented = 1
+
+const Bare = 2 // want `exported const Bare has no doc comment`
+
+// Grouped declarations share the group comment: clean.
+var (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var Loose = 3 // want `exported var Loose has no doc comment`
+
+// T is documented.
+type T struct{}
+
+// Fine is documented: clean.
+func (t *T) Fine() {}
+
+func (t *T) Method() {} // want `exported method T\.Method has no doc comment`
+
+func Exported() {} // want `exported func Exported has no doc comment`
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// unexported symbols and methods on unexported receivers need nothing.
+type hidden struct{}
+
+func (h hidden) Exported() {}
+
+func helper() {}
+
+var _ = helper

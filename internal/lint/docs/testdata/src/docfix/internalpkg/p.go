@@ -1,0 +1,4 @@
+package internalpkg // want `package docfix/internalpkg has no package comment`
+
+// Exported needs no godoc here: the package is comment-only scoped.
+func Exported() {}

@@ -1,0 +1,14 @@
+package evexhaustive_test
+
+import (
+	"testing"
+
+	"debugdet/internal/lint/analysistest"
+	"debugdet/internal/lint/evexhaustive"
+)
+
+func TestFixtures(t *testing.T) {
+	defer func(old []string) { evexhaustive.EnumTypes = old }(evexhaustive.EnumTypes)
+	evexhaustive.EnumTypes = []string{"evfix.Kind"}
+	analysistest.Run(t, analysistest.Testdata(), evexhaustive.Analyzer, "evfix")
+}

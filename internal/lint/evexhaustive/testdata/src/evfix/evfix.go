@@ -1,0 +1,85 @@
+// Package evfix is the evexhaustive golden fixture: a miniature
+// trace.EventKind with codec-style switches in every shape the analyzer
+// distinguishes.
+package evfix
+
+// Kind mirrors trace.EventKind's shape.
+type Kind uint8
+
+// Fixture kinds: exported constants plus an unexported sentinel that
+// exhaustiveness must ignore (the kindCount pattern).
+const (
+	KNone Kind = iota
+	KRead
+	KWrite
+	kCount
+)
+
+// full handles every kind: clean.
+func full(k Kind) int {
+	switch k {
+	case KNone:
+		return 0
+	case KRead:
+		return 1
+	case KWrite:
+		return 2
+	}
+	return -1
+}
+
+// codecWrite is the seeded regression: KWrite was added to the enum but
+// never wired through this codec switch.
+func codecWrite(k Kind) int {
+	switch k { // want `switch on Kind does not handle \[KWrite\]`
+	case KNone:
+		return 0
+	case KRead:
+		return 1
+	}
+	return -1
+}
+
+// hiddenDefault silently swallows two kinds.
+func hiddenDefault(k Kind) int {
+	switch k {
+	case KNone:
+		return 0
+	default: // want `default clause hides unhandled Kind constants \[KRead KWrite\]`
+		return -1
+	}
+}
+
+// justifiedDefault carries the annotation with a reason: clean.
+func justifiedDefault(k Kind) int {
+	switch k {
+	case KRead, KWrite:
+		return 1
+	//lint:exhaustive-default KNone is filtered out by the caller
+	default:
+		return 0
+	}
+}
+
+// justifiedSwitch annotates a filter switch with no default: clean.
+func justifiedSwitch(k Kind) bool {
+	//lint:exhaustive-default only the payload kinds matter to this filter
+	switch k {
+	case KRead, KWrite:
+		return true
+	}
+	return false
+}
+
+// bareDirective has the annotation but no reason.
+func bareDirective(k Kind) int {
+	switch k {
+	case KNone:
+		return 0
+	//lint:exhaustive-default
+	default: // want `needs a justification`
+		return -1
+	}
+}
+
+var _ = []interface{}{full, codecWrite, hiddenDefault, justifiedDefault, justifiedSwitch, bareDirective}

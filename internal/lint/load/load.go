@@ -1,0 +1,278 @@
+// Package load turns source directories into type-checked packages for the
+// detlint analyzers. It is the suite's replacement for
+// golang.org/x/tools/go/packages, built on the standard library only: the
+// go command expands package patterns, go/parser parses, and go/types
+// checks with an importer that resolves module-local imports straight from
+// the repository source tree (the stdlib "source" importer only resolves
+// GOROOT packages).
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path ("debugdet/internal/vm"; fixture packages
+	// use their path under the fixture root).
+	PkgPath string
+	// Dir is the package directory.
+	Dir string
+	// Files are the parsed non-test sources, with comments, in file-name
+	// order.
+	Files []*ast.File
+	// Types and TypesInfo are the type-checker outputs.
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects type-checking problems (empty on a healthy
+	// package). Analyzers still run over packages with type errors; the
+	// driver surfaces the errors itself.
+	TypeErrors []error
+}
+
+// Loader loads and caches packages. One Loader shares a FileSet and an
+// import cache across every package of a run, so each dependency is
+// type-checked once.
+type Loader struct {
+	Fset *token.FileSet
+	// ModPath and ModDir map module-local import paths to directories:
+	// ModPath+"/x/y" resolves to ModDir/x/y.
+	ModPath string
+	ModDir  string
+	// ExtraRoots are additional import roots tried before the module and
+	// the standard library, in order. analysistest points one at the
+	// fixture tree, so fixtures can import helper packages.
+	ExtraRoots []Root
+
+	std     types.ImporterFrom
+	imports map[string]*types.Package
+	loading map[string]bool
+}
+
+// Root maps an import-path prefix to a directory tree. Prefix "" matches
+// every path.
+type Root struct {
+	Prefix string
+	Dir    string
+}
+
+// NewLoader returns a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  modDir,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		imports: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and reads its module
+// path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("load: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Patterns expands go package patterns (./..., specific import paths) into
+// package directories using the go command, returning (dir, importPath)
+// pairs in stable order.
+func (l *Loader) Patterns(patterns []string) ([]Target, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModDir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("load: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var targets []Target
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var t Target
+		if err := dec.Decode(&t); err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, nil
+}
+
+// Target is one package named by a pattern expansion.
+type Target struct {
+	Dir        string
+	ImportPath string
+	Name       string
+}
+
+// Load parses and type-checks the package in dir under the given import
+// path. Test files (_test.go) are excluded: the determinism contract and
+// the SDK surface are properties of production code.
+func (l *Loader) Load(dir, pkgPath string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go source in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Files: files, TypesInfo: info}
+	conf := types.Config{
+		Importer: (*passImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(pkgPath, l.Fset, files, info)
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file of dir, in name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// passImporter resolves imports for type-checking: extra roots first, then
+// the module source tree, then the standard library.
+type passImporter Loader
+
+// Import implements types.Importer.
+func (im *passImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (im *passImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(im)
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if dir, ok := l.resolve(path); ok {
+		if l.loading[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		files, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: im}
+		pkg, err := conf.Check(path, l.Fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("importing %s: %v", path, err)
+		}
+		l.imports[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.ImportFrom(path, srcDir, mode)
+	if err != nil {
+		return nil, err
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+// resolve maps an import path to a source directory via the extra roots
+// and the module root.
+func (l *Loader) resolve(path string) (string, bool) {
+	for _, r := range l.ExtraRoots {
+		if r.Prefix == "" || path == r.Prefix || strings.HasPrefix(path, r.Prefix+"/") {
+			dir := filepath.Join(r.Dir, strings.TrimPrefix(strings.TrimPrefix(path, r.Prefix), "/"))
+			if dirHasGo(dir) {
+				return dir, true
+			}
+		}
+	}
+	if path == l.ModPath {
+		return l.ModDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		dir := filepath.Join(l.ModDir, filepath.FromSlash(rest))
+		if dirHasGo(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// dirHasGo reports whether dir contains at least one .go file.
+func dirHasGo(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

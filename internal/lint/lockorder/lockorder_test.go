@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"debugdet/internal/lint/analysistest"
+	"debugdet/internal/lint/lockorder"
+)
+
+func TestFixtures(t *testing.T) {
+	defer func(old []string) { lockorder.ThreadTypes = old }(lockorder.ThreadTypes)
+	lockorder.ThreadTypes = []string{"lofix.Thread"}
+	analysistest.Run(t, analysistest.Testdata(), lockorder.Analyzer, "lofix")
+}

@@ -1,0 +1,85 @@
+// Package lofix is the lockorder golden fixture: scenario-shaped thread
+// closures over a stand-in Thread type, covering the ABBA report, the
+// gate-lock refinement and the waiver directive.
+package lofix
+
+// Thread mimics vm.Thread's locking surface.
+type Thread struct{}
+
+// Lock acquires obj at site.
+func (t *Thread) Lock(site string, obj int) {}
+
+// Unlock releases obj at site.
+func (t *Thread) Unlock(site string, obj int) {}
+
+// abba builds two closures that take the same pair in opposite orders —
+// the workload deadlock scenario's shape.
+func abba() (func(*Thread), func(*Thread)) {
+	var a, b int
+	fwd := func(t *Thread) {
+		t.Lock("fwd-a", a)
+		t.Lock("fwd-b", b) // want `potential ABBA deadlock`
+		t.Unlock("fwd-b", b)
+		t.Unlock("fwd-a", a)
+	}
+	rev := func(t *Thread) {
+		t.Lock("rev-b", b)
+		t.Lock("rev-a", a)
+		t.Unlock("rev-a", a)
+		t.Unlock("rev-b", b)
+	}
+	return fwd, rev
+}
+
+// gated inverts the inner pair too, but both closures hold the same gate
+// lock: the Goodlock refinement suppresses the report.
+func gated() (func(*Thread), func(*Thread)) {
+	var g, c, d int
+	one := func(t *Thread) {
+		t.Lock("gate", g)
+		t.Lock("one-c", c)
+		t.Lock("one-d", d)
+		t.Unlock("one-d", d)
+		t.Unlock("one-c", c)
+		t.Unlock("gate", g)
+	}
+	two := func(t *Thread) {
+		t.Lock("gate", g)
+		t.Lock("two-d", d)
+		t.Lock("two-c", c)
+		t.Unlock("two-c", c)
+		t.Unlock("two-d", d)
+		t.Unlock("gate", g)
+	}
+	return one, two
+}
+
+// waived is an inversion with a justified waiver on one edge.
+func waived() (func(*Thread), func(*Thread)) {
+	var x, y int
+	one := func(t *Thread) {
+		t.Lock("w-x", x)
+		//lint:lockorder-ok fixture: inversion is intentional and serialized elsewhere
+		t.Lock("w-y", y)
+		t.Unlock("w-y", y)
+		t.Unlock("w-x", x)
+	}
+	two := func(t *Thread) {
+		t.Lock("w-y2", y)
+		t.Lock("w-x2", x)
+		t.Unlock("w-x2", x)
+		t.Unlock("w-y2", y)
+	}
+	return one, two
+}
+
+// nested releases in LIFO order with no inversion: clean.
+func nested() func(*Thread) {
+	var p, q int
+	return func(t *Thread) {
+		t.Lock("n-p", p)
+		t.Lock("n-q", q)
+		t.Unlock("n-q", q)
+		t.Unlock("n-p", p)
+	}
+}

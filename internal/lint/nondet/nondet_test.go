@@ -1,0 +1,19 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"debugdet/internal/lint/analysistest"
+	"debugdet/internal/lint/nondet"
+)
+
+func TestFixtures(t *testing.T) {
+	defer func(pkgs []string, allow map[string]string) {
+		nondet.DetPackages, nondet.AllowRand = pkgs, allow
+	}(nondet.DetPackages, nondet.AllowRand)
+	nondet.DetPackages = []string{"detfix"}
+	nondet.AllowRand = map[string]string{
+		"detfix/seeded.go": "fixture stand-in for the audited seeded constructors",
+	}
+	analysistest.Run(t, analysistest.Testdata(), nondet.Analyzer, "detfix")
+}

@@ -1,0 +1,87 @@
+// Package detfix is the nondet golden fixture: a stand-in for the VM with
+// every violation class and every sanctioned escape.
+package detfix
+
+import (
+	"sort"
+	"time"
+)
+
+// clock is the seeded regression: a wall-clock read inside a deterministic
+// package.
+func clock() int64 {
+	return time.Now().UnixNano() // want `wall-clock call time\.Now`
+}
+
+// annotatedClock is the audited escape form.
+func annotatedClock() int64 {
+	t := time.Now().UnixNano() //lint:nondet-ok metrics side channel; never feeds the trace
+	return t
+}
+
+// spawn leaks host scheduling into the machine.
+func spawn(f func()) {
+	go f() // want `raw go statement`
+}
+
+// spawnOK is annotated with its safety argument.
+func spawnOK(f func()) {
+	//lint:nondet-ok joined before return; completion order is not observable
+	go f()
+}
+
+// sum accumulates commutatively: clean.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keys collects then sorts: clean.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fill writes per-key map entries: clean.
+func fill(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// count observes only the iteration count: clean.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// concat is order-sensitive: string concatenation does not commute.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `order-sensitive`
+		s += k
+	}
+	return s
+}
+
+// concatOK carries a (fixture) justification.
+func concatOK(m map[string]int) string {
+	s := ""
+	//lint:nondet-ok fixture: output is diagnostic-only
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+var _ = []interface{}{clock, annotatedClock, spawn, spawnOK, sum, keys, fill, count, concat, concatOK}

@@ -1,0 +1,8 @@
+package detfix
+
+import "math/rand" // want `imports math/rand`
+
+// roll consumes an injected generator; the import itself is the finding.
+func roll(r *rand.Rand) int { return r.Intn(6) }
+
+var _ = roll

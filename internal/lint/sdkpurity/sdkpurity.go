@@ -1,0 +1,81 @@
+// Package sdkpurity implements the determinism suite's SDK-boundary
+// analyzer: commands and examples must build against the public SDK
+// (debugdet, debugdet/scen, debugdet/sim, debugdet/trace,
+// debugdet/figures) and never reach into debugdet/internal. The check
+// replaces the old CI grep gate (`grep -rn '"debugdet/internal' cmd
+// examples`) with a type-aware pass that understands allowlists and
+// reports positions.
+//
+// The boundary keeps the examples honest: everything a demo does must be
+// possible for an external user of the SDK, so an internal capability a
+// demo needs is a missing public API, not an import to sneak in.
+package sdkpurity
+
+import (
+	"strings"
+
+	"debugdet/internal/lint/analysis"
+)
+
+// ClientRoots are the package-path prefixes whose packages must stay on
+// the public SDK. Tests override this for fixture trees.
+var ClientRoots = []string{"debugdet/cmd", "debugdet/examples"}
+
+// InternalPrefix is the forbidden import subtree.
+var InternalPrefix = "debugdet/internal"
+
+// Allow maps a client package to the internal prefixes it may import,
+// each with a written justification. cmd/detlint is the lint driver
+// itself — it exists to run internal/lint and is not an SDK client.
+var Allow = map[string]map[string]string{
+	"debugdet/cmd/detlint": {
+		"debugdet/internal/lint": "the lint driver fronts internal/lint; it is tooling, not an SDK client",
+	},
+}
+
+// Analyzer is the sdkpurity pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sdkpurity",
+	Doc:  "commands and examples must import only the public SDK, never debugdet/internal",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	client := false
+	for _, root := range ClientRoots {
+		if pass.PkgPath == root || strings.HasPrefix(pass.PkgPath, root+"/") {
+			client = true
+			break
+		}
+	}
+	if !client {
+		return nil, nil
+	}
+	allowed := Allow[pass.PkgPath]
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != InternalPrefix && !strings.HasPrefix(p, InternalPrefix+"/") {
+				continue
+			}
+			if allowedPrefix(allowed, p) {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"%s imports internal package %s; commands and examples must use the public SDK (or add an allowlisted justification in sdkpurity.Allow)",
+				pass.PkgPath, p)
+		}
+	}
+	return nil, nil
+}
+
+// allowedPrefix reports whether the import path falls under an allowlisted
+// prefix for this package.
+func allowedPrefix(allowed map[string]string, p string) bool {
+	for prefix := range allowed {
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package sdkpurity_test
+
+import (
+	"testing"
+
+	"debugdet/internal/lint/analysistest"
+	"debugdet/internal/lint/sdkpurity"
+)
+
+func TestFixtures(t *testing.T) {
+	defer func(roots []string, prefix string, allow map[string]map[string]string) {
+		sdkpurity.ClientRoots, sdkpurity.InternalPrefix, sdkpurity.Allow = roots, prefix, allow
+	}(sdkpurity.ClientRoots, sdkpurity.InternalPrefix, sdkpurity.Allow)
+	sdkpurity.ClientRoots = []string{"clientfix/cmd"}
+	sdkpurity.InternalPrefix = "clientfix/internal"
+	sdkpurity.Allow = map[string]map[string]string{
+		"clientfix/cmd/okcmd": {
+			"clientfix/internal/guts": "fixture stand-in for the detlint allowance",
+		},
+	}
+	analysistest.Run(t, analysistest.Testdata(), sdkpurity.Analyzer,
+		"clientfix/cmd/tool", "clientfix/cmd/okcmd", "clientfix/internal/guts")
+}

@@ -1,0 +1,7 @@
+// Command okcmd is a fixture client with an allowlisted internal import —
+// the cmd/detlint arrangement.
+package main
+
+import _ "clientfix/internal/guts"
+
+func main() {}

@@ -1,0 +1,6 @@
+// Command tool is a fixture client that reaches into internals.
+package main
+
+import _ "clientfix/internal/guts" // want `imports internal package clientfix/internal/guts`
+
+func main() {}

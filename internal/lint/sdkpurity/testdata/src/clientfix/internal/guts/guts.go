@@ -1,0 +1,5 @@
+// Package guts is fixture internals that clients must not import.
+package guts
+
+// V exists so imports of this package type-check.
+var V = 1

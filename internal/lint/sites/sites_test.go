@@ -1,0 +1,72 @@
+package sites
+
+import (
+	"testing"
+
+	"debugdet/internal/workload"
+)
+
+// lockOrderFamily is the triage ground truth: the corpus scenarios whose
+// programs contain a genuine lock-order inversion. It mirrors the
+// RootCause IDs the workload catalog declares, and the sweep below holds
+// the dynamic triage to it — the same bar the static lockorder analyzer's
+// fixtures are held to.
+var lockOrderFamily = map[string]bool{
+	"deadlock":      true,
+	"fuzz-deadlock": true,
+}
+
+// TestCorpusSweep runs lock-order triage over the full corpus: the two
+// deadlock-family scenarios are flagged, every other scenario stays
+// clean. This is the static/dynamic agreement check — a triage false
+// positive here would poison the search seeding downstream.
+func TestCorpusSweep(t *testing.T) {
+	all := workload.All()
+	if len(all) < 10 {
+		t.Fatalf("corpus unexpectedly small: %d scenarios", len(all))
+	}
+	for _, s := range all {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			suspects, runs := TriageSeeds(s, s.DefaultSeed+1, 0, nil)
+			if runs == 0 {
+				t.Fatal("triage spent no runs")
+			}
+			if lockOrderFamily[s.Name] {
+				if len(suspects) == 0 {
+					t.Fatalf("lock-order scenario not flagged")
+				}
+			} else if len(suspects) != 0 {
+				t.Fatalf("clean scenario flagged: %v", suspects)
+			}
+		})
+	}
+}
+
+// TestTriageSuspectShape pins the triaged suspect for the hand-written
+// deadlock scenario: the mutex pair, both locker threads, and at least
+// one acquisition site.
+func TestTriageSuspectShape(t *testing.T) {
+	s, err := workload.ByName("deadlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects, _ := TriageSeeds(s, s.DefaultSeed+1, 0, nil)
+	if len(suspects) != 1 {
+		t.Fatalf("suspects = %v, want exactly one", suspects)
+	}
+	got := suspects[0]
+	if got.Locks != [2]string{"A", "B"} {
+		t.Errorf("locks = %v, want [A B]", got.Locks)
+	}
+	if len(got.Threads) != 2 || got.Threads[0] != "ab" || got.Threads[1] != "ba" {
+		t.Errorf("threads = %v, want [ab ba]", got.Threads)
+	}
+	if len(got.Sites) == 0 {
+		t.Error("no acquisition sites recorded")
+	}
+	if got.Objs[0] == got.Objs[1] {
+		t.Errorf("lock objects not distinct: %v", got.Objs)
+	}
+}

@@ -124,6 +124,7 @@ func Profile(l *trace.Log) []SiteProfile {
 			agg[e.Site] = p
 		}
 		p.Events++
+		//lint:exhaustive-default only payload-bearing kinds contribute bytes to the site profile
 		switch e.Kind {
 		case trace.EvStore, trace.EvSend, trace.EvRecv, trace.EvInput, trace.EvOutput, trace.EvLoad, trace.EvObserve,
 			trace.EvDiskWrite, trace.EvDiskRead:

@@ -150,6 +150,7 @@ func (d *Detector) OnEvent(e *trace.Event) uint64 {
 	vc := d.clock(tid)
 	var cost uint64
 
+	//lint:exhaustive-default vector clocks advance only on sync and memory events; the remaining kinds are thread-local and cannot race
 	switch e.Kind {
 	case trace.EvLock:
 		if rel, ok := d.lockVC[e.Obj]; ok {

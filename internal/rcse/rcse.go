@@ -25,6 +25,7 @@ package rcse
 
 import (
 	"debugdet/internal/invariant"
+	"debugdet/internal/lint/sites"
 	"debugdet/internal/plane"
 	"debugdet/internal/race"
 	"debugdet/internal/record"
@@ -63,6 +64,48 @@ func (p *Policy) Level(e *trace.Event) record.Level {
 		}
 	}
 	return level
+}
+
+// SuspectSelector records at full fidelity around statically implicated
+// lock-order suspects (detlint's lockorder analysis via sites.Triage):
+// every event at a suspect acquisition site, and every lock/unlock of a
+// suspect mutex. Site and mutex IDs are stable across runs of a scenario
+// at fixed parameters — workloads register both deterministically — which
+// is what lets a triage run's suspects select in a later recording run.
+type SuspectSelector struct {
+	siteSet map[trace.SiteID]bool
+	objSet  map[trace.ObjID]bool
+}
+
+// NewSuspectSelector builds the selector from triaged suspects.
+func NewSuspectSelector(suspects []sites.Suspect) *SuspectSelector {
+	s := &SuspectSelector{
+		siteSet: make(map[trace.SiteID]bool),
+		objSet:  make(map[trace.ObjID]bool),
+	}
+	for _, sp := range suspects {
+		for _, id := range sp.Sites {
+			s.siteSet[id] = true
+		}
+		for _, id := range sp.Objs {
+			s.objSet[id] = true
+		}
+	}
+	return s
+}
+
+// Name implements Selector.
+func (s *SuspectSelector) Name() string { return "suspects" }
+
+// Demand implements Selector.
+func (s *SuspectSelector) Demand(e *trace.Event) record.Level {
+	if s.siteSet[e.Site] {
+		return record.LevelFull
+	}
+	if (e.Kind == trace.EvLock || e.Kind == trace.EvUnlock) && s.objSet[e.Obj] {
+		return record.LevelFull
+	}
+	return record.LevelSkip
 }
 
 // CodeSelector implements code-based selection over a plane
@@ -191,6 +234,9 @@ type Config struct {
 	Thresholds []*ThresholdSelector
 	// QuietPeriod configures trigger dial-down (events).
 	QuietPeriod uint64
+	// Suspects enables full-fidelity recording around statically
+	// implicated lock-order inversions when non-empty.
+	Suspects []sites.Suspect
 }
 
 // Setup is the assembled RCSE machinery for one machine.
@@ -243,6 +289,9 @@ func (c Config) Build(m *vm.Machine) *Setup {
 	}
 	for _, th := range c.Thresholds {
 		selectors = append(selectors, th)
+	}
+	if len(c.Suspects) > 0 {
+		selectors = append(selectors, NewSuspectSelector(c.Suspects))
 	}
 	setup.Policy = NewPolicy(selectors...)
 	return setup

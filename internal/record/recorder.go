@@ -117,6 +117,7 @@ func perfectPolicy() Policy {
 // extra work value-deterministic systems push to debug time.
 func valuePolicy() Policy {
 	return PolicyFunc{N: "value", F: func(e *trace.Event) Level {
+		//lint:exhaustive-default the value policy persists exactly the payload-bearing kinds; skipping the rest is the scheme's definition (valueLogged mirrors this set)
 		switch e.Kind {
 		case trace.EvLoad, trace.EvStore, trace.EvSend, trace.EvRecv,
 			trace.EvInput, trace.EvOutput, trace.EvObserve,
@@ -133,6 +134,7 @@ func valuePolicy() Policy {
 // schedules and race orders are all left to inference.
 func outputPolicy() Policy {
 	return PolicyFunc{N: "output", F: func(e *trace.Event) Level {
+		//lint:exhaustive-default output determinism records outputs and failures only; every other kind is inferred at debug time
 		switch e.Kind {
 		case trace.EvOutput, trace.EvFail, trace.EvCrash:
 			return LevelFull

@@ -2,10 +2,12 @@ package replay
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
+	"debugdet/internal/trace"
 	"debugdet/internal/vm"
 )
 
@@ -27,7 +29,13 @@ func DebugValueReplay(s *scenario.Scenario, rec *record.Recording, o Options) st
 	var b strings.Builder
 	fmt.Fprintf(&b, "outcome=%s consumed=%d/%d done=%v\n",
 		view.Result.Outcome, sched.consumed, sched.total, sched.Done())
-	for tid, q := range sched.logs {
+	tids := make([]trace.ThreadID, 0, len(sched.logs))
+	for tid := range sched.logs {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		q := sched.logs[tid]
 		i := sched.pos[tid]
 		if i >= len(q) {
 			continue

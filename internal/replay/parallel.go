@@ -115,6 +115,7 @@ func SegmentedStore(s *scenario.Scenario, st flightrec.Store, o Options) (*Segme
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//lint:nondet-ok bounded worker pool over disjoint segments; results land in per-index slots and are joined after wg.Wait, so host scheduling is unobservable
 			go func() {
 				defer wg.Done()
 				for i := range idxCh {

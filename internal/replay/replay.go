@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"debugdet/internal/infer"
+	"debugdet/internal/lint/sites"
 	"debugdet/internal/record"
 	"debugdet/internal/scenario"
 	"debugdet/internal/trace"
@@ -49,6 +50,11 @@ type Options struct {
 	// models (0 = GOMAXPROCS, 1 = sequential). Results are identical
 	// for every worker count; see infer.Search.
 	Workers int
+	// Suspects are statically implicated lock-order inversions (from
+	// detlint's lockorder analysis via sites.Triage); failure-determinism
+	// search uses them to visit its PCT candidates first. See
+	// infer.Options.Suspects for the bit-identity contract.
+	Suspects []sites.Suspect
 }
 
 // Result is a finished replay.
@@ -144,6 +150,7 @@ func replayRCSE(s *scenario.Scenario, rec *record.Recording, o Options) *Result 
 		control[name] = true
 	}
 	forced := rec.InputsByStream()
+	//lint:nondet-ok per-key filter: each delete depends only on its own key, never on visit order
 	for name := range forced {
 		if !control[name] {
 			delete(forced, name)
@@ -224,6 +231,7 @@ func replayFailure(s *scenario.Scenario, rec *record.Recording, o Options) *Resu
 		ShrinkParams: o.ShrinkParams,
 		MaxSteps:     o.MaxSteps,
 		Workers:      o.Workers,
+		Suspects:     o.Suspects,
 	})
 	return &Result{
 		View:       out.View,
@@ -258,6 +266,7 @@ func outputsMatch(want map[string][]trace.Value, v *scenario.RunView) bool {
 	if len(got) != len(want) {
 		return false
 	}
+	//lint:nondet-ok pure all-keys conjunction: the result is the same whichever key fails first
 	for name, ws := range want {
 		gs, ok := got[name]
 		if !ok || len(gs) != len(ws) {

@@ -32,6 +32,7 @@ func (s *stagedInputs) Next(stream string, index int) trace.Value {
 // valueLogged mirrors the value recorder's policy: the event kinds present
 // in per-thread logs.
 func valueLogged(k trace.EventKind) bool {
+	//lint:exhaustive-default mirrors the value recorder's policy set exactly; unlisted kinds are unlogged by design
 	switch k {
 	case trace.EvLoad, trace.EvStore, trace.EvSend, trace.EvRecv,
 		trace.EvInput, trace.EvOutput, trace.EvObserve,
@@ -86,6 +87,7 @@ func newValueGuidedScheduler(rec *record.Recording, inputs *stagedInputs) *value
 		streams: rec.Streams,
 		total:   len(rec.Full),
 	}
+	//lint:nondet-ok per-key map write guarded by a per-key predicate; order cannot be observed
 	for tid, idx := range gidx {
 		if len(idx) > 0 {
 			s.next[tid] = idx[0]
@@ -105,6 +107,7 @@ func (s *valueGuidedScheduler) Done() bool { return s.consumed == s.total }
 func (s *valueGuidedScheduler) wantedThread() (trace.ThreadID, bool) {
 	best := trace.ThreadID(-1)
 	bestIdx := -1
+	//lint:nondet-ok min-reduction over distinct global indexes (one owner per index); the minimum is unique
 	for tid, idx := range s.next {
 		if bestIdx == -1 || idx < bestIdx {
 			best, bestIdx = tid, idx

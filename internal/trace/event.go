@@ -106,6 +106,7 @@ func (k EventKind) Valid() bool { return k < kindCount }
 // IsSync reports whether the kind establishes happens-before edges between
 // threads (lock/unlock, send/recv, spawn/exit).
 func (k EventKind) IsSync() bool {
+	//lint:exhaustive-default the six sync kinds are the complete happens-before set; every other kind is thread-local
 	switch k {
 	case EvLock, EvUnlock, EvSend, EvRecv, EvSpawn, EvExit:
 		return true

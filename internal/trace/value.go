@@ -66,6 +66,7 @@ func (v Value) AsInt() int64 {
 // AsBool returns the boolean payload; non-bool kinds are truthy if nonzero
 // or nonempty.
 func (v Value) AsBool() bool {
+	//lint:exhaustive-default VNil is falsy: the fallthrough return false is its deliberate truthiness
 	switch v.Kind {
 	case VBool, VInt:
 		return v.Int != 0
@@ -80,6 +81,7 @@ func (v Value) AsBool() bool {
 // AsString returns the string payload; VBytes is converted, other kinds are
 // formatted.
 func (v Value) AsString() string {
+	//lint:exhaustive-default VNil renders as the empty string via the fallthrough
 	switch v.Kind {
 	case VString:
 		return v.Str

@@ -209,6 +209,7 @@ func (m *Machine) applyOp(t *Thread) {
 		t.result = trace.Int(int64(keep))
 		m.emit(t, trace.EvDiskCrash, req.site, req.obj, t.result, trace.TaintNone)
 
+	//lint:exhaustive-default opNone never reaches apply (threads always park with a real op); the panic guards decode bugs
 	default:
 		panic(fmt.Sprintf("vm: unknown op code %d", req.code))
 	}

@@ -68,6 +68,7 @@ func DefaultCostModel() CostModel {
 // payload copy cost.
 func (c *CostModel) opCost(kind trace.EventKind, payload int) uint64 {
 	cost := c.ThinkCycles + c.OpCycles[kind]
+	//lint:exhaustive-default only kinds that copy payloads pay the per-byte cost; the rest cost OpCycles alone
 	switch kind {
 	case trace.EvSend, trace.EvRecv, trace.EvInput, trace.EvOutput,
 		trace.EvDiskWrite, trace.EvDiskRead:

@@ -457,6 +457,7 @@ func (m *Machine) enabled(t *Thread) bool {
 		return m.cfg.RelaxTime || m.clock >= req.deadline
 	case opRecvTimeout:
 		return m.cfg.RelaxTime || !m.chans[req.obj].empty() || m.clock >= req.deadline
+	//lint:exhaustive-default every op without a listed wait condition is always eligible to apply
 	default:
 		return true
 	}
@@ -499,6 +500,7 @@ func (m *Machine) blockedSummary() string {
 			s += fmt.Sprintf("%s waits send %s", t.name, m.ChanName(t.pending.obj))
 		case opRecv:
 			s += fmt.Sprintf("%s waits recv %s", t.name, m.ChanName(t.pending.obj))
+		//lint:exhaustive-default deadlock report names the three blocking ops; anything else prints its raw code
 		default:
 			s += fmt.Sprintf("%s waits %d", t.name, t.pending.code)
 		}
@@ -533,6 +535,7 @@ func (m *Machine) emit(t *Thread, kind trace.EventKind, site trace.SiteID, obj t
 	}
 	if kind.IsTerminal() {
 		var oc Outcome
+		//lint:exhaustive-default guarded by IsTerminal: the only terminal kinds are fail, crash and deadlock
 		switch kind {
 		case trace.EvFail:
 			oc = OutcomeFailed

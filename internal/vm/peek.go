@@ -126,6 +126,7 @@ func (m *Machine) PeekEvent(t *Thread) (PendingOp, bool) {
 		keep, _ := m.disks[req.obj].crashKeep()
 		p.Val = trace.Int(int64(keep))
 		p.ValKnown = true
+	//lint:exhaustive-default opNone has no observable pending state; peeking it reports not-peekable
 	default:
 		return PendingOp{}, false
 	}

@@ -307,6 +307,7 @@ type FeedEntry struct {
 // feedCompatible reports whether an operation issued during feed replay
 // can have produced an event of the given kind.
 func feedCompatible(code opCode, kind trace.EventKind) bool {
+	//lint:exhaustive-default opNone and opPanic never appear in feeds; the fallthrough rejects them as incompatible
 	switch code {
 	case opLoad:
 		return kind == trace.EvLoad
@@ -476,6 +477,7 @@ func Restore(cfg Config, setup func(*Machine) func(*Thread), snap *Snapshot, fee
 			return fail(fmt.Errorf("vm: restore: thread %d (%s) was never spawned during feed replay", i, ts.Name))
 		}
 		t.feed = feeds[i]
+		//lint:nondet-ok VM threads are hosted on goroutines; the yieldCh handshake below serializes them under the machine's schedule
 		go m.threadMain(t)
 		select {
 		case p := <-m.yieldCh:
@@ -612,6 +614,7 @@ func (m *Machine) Threads() []ThreadInfo {
 func (m *Machine) describePending(t *Thread) string {
 	req := &t.pending
 	obj := ""
+	//lint:exhaustive-default ops without a named object render with an empty operand; description only
 	switch req.code {
 	case opLoad, opStore:
 		obj = m.CellName(req.obj)

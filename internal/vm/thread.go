@@ -194,6 +194,7 @@ func (t *Thread) parkRestoreError(msg string) {
 // unwind protocol) and spawn (startThread receives the child's first park
 // on yieldCh, which must not race with the machine's own receive).
 func inlineEligible(code opCode) bool {
+	//lint:exhaustive-default the four excluded ops are listed exhaustively; every other op is inline-eligible
 	switch code {
 	case opExit, opFail, opCrash, opSpawn:
 		return false
@@ -383,6 +384,7 @@ func (m *Machine) newThread(name string, body func(*Thread)) *Thread {
 // startThread launches the goroutine for t and waits until it parks at its
 // first operation (every thread parks at least once: exit is an op).
 func (m *Machine) startThread(t *Thread) {
+	//lint:nondet-ok VM threads are hosted on goroutines; the park handshake on yieldCh serializes them under the machine's schedule
 	go m.threadMain(t)
 	parked := <-m.yieldCh
 	if parked != t {
