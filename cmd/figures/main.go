@@ -7,7 +7,7 @@
 //	figures -all
 //	figures -fig 1
 //	figures -fig 2
-//	figures -table df|overhead|plane|du|triggers|dynokv|disk|fuzz|ckpt|stat
+//	figures -table df|overhead|plane|du|triggers|dynokv|disk|fuzz|ckpt|stat|fork
 //	figures -table fuzz -gen 1234 # rerun a generator seed from go test -fuzz
 //	figures -budget 100           # bound inference attempts per cell
 //	figures -workers 4            # cell-grid parallelism (default GOMAXPROCS, 1 = sequential)
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1 or 2)")
-	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv, disk, fuzz, ckpt, stat)")
+	table := flag.String("table", "", "table to regenerate (df, overhead, plane, du, triggers, dynokv, disk, fuzz, ckpt, stat, fork)")
 	all := flag.Bool("all", false, "regenerate everything")
 	budget := flag.Int("budget", 0, "inference budget per cell (default 200)")
 	workers := flag.Int("workers", 0, "concurrent cells (default GOMAXPROCS; results are identical for any value)")
@@ -157,6 +157,16 @@ func main() {
 				return err
 			}
 			fmt.Println(figures.RenderTableStat(rows))
+			return nil
+		})
+	}
+	if *all || *table == "fork" {
+		run("fork", func() error {
+			rows, err := figures.TableFork(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(figures.RenderTableFork(rows))
 			return nil
 		})
 	}

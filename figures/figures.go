@@ -115,3 +115,13 @@ func TableStat(o Options) ([]StatRow, error) { return eval.TableStat(o) }
 
 // RenderTableStat prints T-STAT.
 func RenderTableStat(rows []StatRow) string { return eval.RenderTableStat(rows) }
+
+// ForkRow is one measurement of checkpoint-forked candidate execution.
+type ForkRow = eval.ForkRow
+
+// TableFork measures checkpoint-forked candidate execution (T-FORK):
+// same outcome and attempts as from-scratch search, less executed work.
+func TableFork(o Options) ([]ForkRow, error) { return eval.TableFork(o) }
+
+// RenderTableFork prints T-FORK.
+func RenderTableFork(rows []ForkRow) string { return eval.RenderTableFork(rows) }

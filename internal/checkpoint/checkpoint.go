@@ -80,14 +80,16 @@ func (w *Writer) Interval() uint64 { return w.interval }
 
 // Best returns the latest checkpoint whose sequence number is ≤ target,
 // or nil when none qualifies (seek must fall back to replay-from-start).
-// Checkpoints are in trace order.
+// The slice may be in any order: merged or overlaid snapshot sources (a
+// flight recorder's segment ring spliced with retained disk segments, or
+// flightrec.WithSnapshots overlays) do not guarantee trace order, so Best
+// scans the whole slice for the maximum qualifying Seq instead of
+// assuming it can stop at the first Seq > target.
 func Best(snaps []*vm.Snapshot, target uint64) *vm.Snapshot {
 	var best *vm.Snapshot
 	for _, s := range snaps {
-		if s.Seq <= target {
+		if s.Seq <= target && (best == nil || s.Seq > best.Seq) {
 			best = s
-		} else {
-			break
 		}
 	}
 	return best

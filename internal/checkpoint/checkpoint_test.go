@@ -86,6 +86,38 @@ func TestBest(t *testing.T) {
 	}
 }
 
+// TestBestUnordered pins that Best selects the maximum Seq ≤ target
+// regardless of slice order: merged or overlaid snapshot sources (e.g.
+// flightrec.WithSnapshots over a spliced segment ring) do not guarantee
+// trace order, and the old early-break scan returned a stale — or nil —
+// snapshot on such inputs.
+func TestBestUnordered(t *testing.T) {
+	rec, _ := capture(t, 50)
+	if len(rec.Checkpoints) < 3 {
+		t.Fatalf("need at least 3 checkpoints, have %d", len(rec.Checkpoints))
+	}
+	// A deterministic shuffle: rotate then swap ends, so the first element
+	// has Seq > target for small targets (the early-break trap) and the
+	// best qualifying snapshot sits after a larger one.
+	snaps := make([]*vm.Snapshot, 0, len(rec.Checkpoints))
+	snaps = append(snaps, rec.Checkpoints[len(rec.Checkpoints)-1])
+	for i := len(rec.Checkpoints) - 2; i >= 0; i-- {
+		snaps = append(snaps, rec.Checkpoints[i])
+	}
+	for _, target := range []uint64{0, 49, 50, 99, 149, 1 << 40} {
+		want := checkpoint.Best(rec.Checkpoints, target)
+		got := checkpoint.Best(snaps, target)
+		switch {
+		case want == nil && got != nil:
+			t.Errorf("Best(shuffled, %d) = seq %d, want nil", target, got.Seq)
+		case want != nil && got == nil:
+			t.Errorf("Best(shuffled, %d) = nil, want seq %d", target, want.Seq)
+		case want != nil && got != nil && got.Seq != want.Seq:
+			t.Errorf("Best(shuffled, %d) = seq %d, want seq %d", target, got.Seq, want.Seq)
+		}
+	}
+}
+
 func TestSnapshotCodecRoundTrip(t *testing.T) {
 	rec, _ := capture(t, 50)
 	var buf bytes.Buffer

@@ -89,9 +89,23 @@ type Options struct {
 	// any other recording work.
 	CheckpointInterval int64
 	// Workers sets the replay-inference worker-pool size (0 =
-	// GOMAXPROCS, 1 = sequential). The evaluation result is identical
-	// for every worker count.
+	// GOMAXPROCS, 1 = sequential; negative rejected). The evaluation
+	// result is identical for every worker count.
 	Workers int
+	// ForkReplay enables checkpoint-forked candidate execution in the
+	// replay-inference search: candidates sharing a prefix with an
+	// earlier candidate re-execute only their suffix from a VM snapshot,
+	// and equivalent candidates are pruned. The replayed execution,
+	// acceptance and attempt counts are bit-identical to the from-scratch
+	// search; only the executed work (and with it DE's denominator)
+	// shrinks. See infer.Options.Fork and the T-FORK table.
+	ForkReplay bool
+	// ForkInterval is the snapshot interval for forked replay execution
+	// (0 = checkpoint default; negative rejected).
+	ForkInterval int64
+	// ForkPaths bounds the forked prefix forest (0 = 8; negative
+	// rejected).
+	ForkPaths int
 	// FlightRecorder configures RecordStreaming's always-on bounded-memory
 	// recording: the spill directory, the in-memory ring size and the
 	// on-disk retention cap. Only RecordStreaming reads it; Record and
@@ -105,10 +119,15 @@ type Options struct {
 }
 
 // validate rejects option values that would otherwise be silently
-// reinterpreted.
+// reinterpreted. The replay-facing knobs (Workers, the fork knobs)
+// delegate to replay.Options.Validate, so the SDK surface rejects the
+// same domains the engine does.
 func (o Options) validate() error {
 	if o.CheckpointInterval < 0 {
 		return fmt.Errorf("core: Options.CheckpointInterval must not be negative (got %d; use 0 to disable checkpoints)", o.CheckpointInterval)
+	}
+	if err := o.replayOptions().Validate(); err != nil {
+		return err
 	}
 	if o.FlightRecorder != nil {
 		if err := o.FlightRecorder.Validate(); err != nil {
@@ -116,6 +135,22 @@ func (o Options) validate() error {
 		}
 	}
 	return nil
+}
+
+// replayOptions assembles the replay configuration the evaluation uses.
+func (o Options) replayOptions() replay.Options {
+	return replay.Options{
+		Ctx:          o.Ctx,
+		Budget:       o.ReplayBudget,
+		SearchSeed:   o.SearchSeed,
+		ShrinkParams: o.ShrinkParams,
+		MaxSteps:     o.MaxSteps,
+		Workers:      o.Workers,
+		Suspects:     o.Suspects,
+		Fork:         o.ForkReplay,
+		ForkInterval: o.ForkInterval,
+		ForkPaths:    o.ForkPaths,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -276,15 +311,7 @@ func Evaluate(s *scenario.Scenario, model record.Model, o Options) (*Evaluation,
 		return nil, err
 	}
 
-	rep := replay.Replay(s, rec, replay.Options{
-		Ctx:          o.Ctx,
-		Budget:       o.ReplayBudget,
-		SearchSeed:   o.SearchSeed,
-		ShrinkParams: o.ShrinkParams,
-		MaxSteps:     o.MaxSteps,
-		Workers:      o.Workers,
-		Suspects:     o.Suspects,
-	})
+	rep := replay.Replay(s, rec, o.replayOptions())
 	if rep.Err != nil {
 		return nil, rep.Err
 	}

@@ -1,0 +1,42 @@
+package eval
+
+import "testing"
+
+// TestTableForkPins locks in the fork-equivalence contract across the
+// T-FORK cases: the forked search produces the bit-identical outcome
+// with identical attempt counts while never executing more events, and
+// the control-only sensitivity sweep (bank) — where every candidate is
+// equivalent to the trunk — is pruned by at least 2x (in practice to a
+// single execution per search seed).
+func TestTableForkPins(t *testing.T) {
+	rows, err := TableFork(Options{ReplayBudget: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(forkCases) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(forkCases))
+	}
+	halved := false
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s/%s: forked search produced a different outcome", r.Scenario, r.Shape)
+		}
+		if r.ForkAttempts != r.BaseAttempts {
+			t.Errorf("%s/%s: attempts %d -> %d, want identical counts",
+				r.Scenario, r.Shape, r.BaseAttempts, r.ForkAttempts)
+		}
+		if r.ForkWorkSteps > r.BaseWorkSteps {
+			t.Errorf("%s/%s: worksteps %d -> %d, forking must never add work",
+				r.Scenario, r.Shape, r.BaseWorkSteps, r.ForkWorkSteps)
+		}
+		if r.ForkWorkSteps*2 <= r.BaseWorkSteps {
+			halved = true
+		}
+		if r.Scenario == "bank" && r.Shape == "sweep" && r.Saving() < 2 {
+			t.Errorf("bank sweep saved only %.2fx, want >= 2x", r.Saving())
+		}
+	}
+	if !halved {
+		t.Error("no case halved its worksteps; the fork table shows no win")
+	}
+}

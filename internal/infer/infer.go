@@ -77,11 +77,56 @@ type Options struct {
 	// Attempts/WorkCycles/WorkSteps shrink.
 	Suspects []sites.Suspect
 	// Workers is the number of candidate executions run concurrently
-	// (default GOMAXPROCS; 1 opts out of parallelism). Candidates are
-	// bit-deterministic functions of their index, so the Outcome —
-	// accepted execution, Attempts, WorkCycles, WorkSteps, Note — is
-	// identical for every worker count; see Search for the contract.
+	// (default GOMAXPROCS; 1 opts out of parallelism; negative is rejected
+	// by Validate). Candidates are bit-deterministic functions of their
+	// index, so the Outcome — accepted execution, Attempts, WorkCycles,
+	// WorkSteps, Note — is identical for every worker count; see Search
+	// for the contract.
 	Workers int
+	// Fork enables checkpoint-forked candidate execution: completed
+	// candidates are retained — with their scheduling rounds and periodic
+	// state snapshots — in a bounded prefix forest, each later candidate
+	// is dry-run against the forest to find where it first diverges, and
+	// only its suffix is executed from the best snapshot at or before that
+	// point; a candidate equivalent to a retained execution is pruned to
+	// zero executed work (see Forker). The accepted execution, Ok,
+	// Attempts, AcceptedParams and Note are bit-identical to the
+	// non-forked search at every worker count; WorkCycles and WorkSteps
+	// count only the work actually executed — the measured win — and so
+	// depend on the forest policy (sequential searches grow the forest as
+	// they go; parallel searches freeze it after the first candidate so
+	// workers share it read-only, keeping the counts deterministic per
+	// worker-count mode).
+	Fork bool
+	// ForkInterval is the event interval between snapshots on retained
+	// executions (0 = checkpoint.DefaultInterval; negative is rejected by
+	// Validate). Smaller intervals fork closer to the divergence point at
+	// the price of more snapshot memory per retained path.
+	ForkInterval int64
+	// ForkPaths bounds the prefix forest (0 = 8; negative is rejected by
+	// Validate).
+	ForkPaths int
+}
+
+// Validate rejects option values outside their domain instead of silently
+// reinterpreting them, mirroring flightrec.Options.Validate. A negative
+// Workers previously fell through to the sequential path as if it were 1,
+// hiding the caller's sign bug. Search calls Validate and surfaces the
+// error through Outcome.Err.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("infer: Workers must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", o.Workers)
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("infer: Budget must be >= 0 (0 = default 200), got %d", o.Budget)
+	}
+	if o.ForkInterval < 0 {
+		return fmt.Errorf("infer: ForkInterval must be >= 0 (0 = checkpoint default), got %d", o.ForkInterval)
+	}
+	if o.ForkPaths < 0 {
+		return fmt.Errorf("infer: ForkPaths must be >= 0 (0 = default 8), got %d", o.ForkPaths)
+	}
+	return nil
 }
 
 // Outcome is a finished search.
@@ -103,8 +148,8 @@ type Outcome struct {
 	AcceptedParams scenario.Params
 	// Note summarizes how the result was found, for reports.
 	Note string
-	// Err is the context error when the search was canceled mid-flight,
-	// nil otherwise.
+	// Err is the context error when the search was canceled mid-flight or
+	// the validation error when the options were rejected, nil otherwise.
 	Err error
 }
 
@@ -197,6 +242,9 @@ func runCandidate(s *scenario.Scenario, o Options, pt paramTry) *scenario.RunVie
 // those executions are discarded unobserved, so their scheduling on the
 // host has no effect on the Outcome.
 func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options) *Outcome {
+	if err := o.Validate(); err != nil {
+		return &Outcome{Err: err, Note: "invalid options"}
+	}
 	if o.Ctx == nil {
 		o.Ctx = context.Background()
 	}
@@ -210,6 +258,9 @@ func Search(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options
 	workers := o.Workers
 	if workers > len(plan) {
 		workers = len(plan)
+	}
+	if o.Fork {
+		return searchForked(s, accept, o, plan, workers)
 	}
 	if workers <= 1 {
 		return searchSeq(s, accept, o, plan)
@@ -243,12 +294,113 @@ func searchSeq(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Opti
 	return out
 }
 
+// runFunc executes one candidate of the plan, returning the finished view
+// and the steps and virtual cycles of work actually executed (whole-run
+// totals for a from-scratch run; the executed suffix for a forked one).
+type runFunc func(pt paramTry) (view *scenario.RunView, steps, cycles uint64)
+
 // searchParallel fans the candidate plan across a worker pool and folds
 // results back in index order.
 func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options, plan []paramTry, workers int) *Outcome {
+	run := func(pt paramTry) (*scenario.RunView, uint64, uint64) {
+		view := runCandidate(s, o, pt)
+		return view, view.Result.Steps, view.Result.Cycles
+	}
+	return collectParallel(accept, o, plan, workers, run, &Outcome{})
+}
+
+// searchForked runs the search through a Forker; see Options.Fork. The
+// sequential form grows the prefix forest as candidates complete. The
+// parallel form executes the first candidate (the trunk) on the collector
+// and freezes the forest before fanning the rest across the pool, so
+// workers fork off a shared read-only trunk — keeping every count
+// deterministic across worker schedules.
+func searchForked(s *scenario.Scenario, accept func(*scenario.RunView) bool, o Options, plan []paramTry, workers int) *Outcome {
+	f := NewForker(ForkerConfig{
+		Scenario: s,
+		Interval: uint64(o.ForkInterval),
+		MaxPaths: o.ForkPaths,
+		MaxSteps: o.MaxSteps,
+	})
+	run := func(pt paramTry) (*scenario.RunView, uint64, uint64) {
+		return f.Run(forkCandidate(s, o, pt))
+	}
+	if workers <= 1 {
+		out := &Outcome{}
+		for _, pt := range plan {
+			if err := o.Ctx.Err(); err != nil {
+				out.Err = err
+				out.Note = "search canceled"
+				return out
+			}
+			view, steps, cycles := run(pt)
+			out.Attempts++
+			out.WorkCycles += cycles
+			out.WorkSteps += steps
+			if accept(view) {
+				out.View = view
+				out.Ok = true
+				out.AcceptedParams = pt.p
+				out.Note = fmt.Sprintf("%s attempt %d", pt.note, pt.idx)
+				return out
+			}
+		}
+		out.Note = "budget exhausted"
+		return out
+	}
+	out := &Outcome{}
+	if err := o.Ctx.Err(); err != nil {
+		out.Err = err
+		out.Note = "search canceled"
+		return out
+	}
+	pt := plan[0]
+	view, steps, cycles := run(pt)
+	out.Attempts++
+	out.WorkCycles += cycles
+	out.WorkSteps += steps
+	if accept(view) {
+		out.View = view
+		out.Ok = true
+		out.AcceptedParams = pt.p
+		out.Note = fmt.Sprintf("%s attempt %d", pt.note, pt.idx)
+		return out
+	}
+	f.Freeze()
+	rest := plan[1:]
+	if len(rest) == 0 {
+		out.Note = "budget exhausted"
+		return out
+	}
+	if workers > len(rest) {
+		workers = len(rest)
+	}
+	return collectParallel(accept, o, rest, workers, run, out)
+}
+
+// forkCandidate adapts a plan slot to the forker's candidate interface,
+// preserving candidate identity: the same seed, scheduler and inputs
+// runCandidate would construct for the slot.
+func forkCandidate(s *scenario.Scenario, o Options, pt paramTry) Candidate {
+	i := int64(pt.idx)
+	return Candidate{
+		Seed:      o.BaseSeed + i,
+		Scheduler: func() vm.Scheduler { return candidateScheduler(o, i) },
+		Inputs:    func() vm.InputSource { return candidateInputs(s, o, pt.p, i) },
+		Params:    pt.p,
+	}
+}
+
+// collectParallel is the shared parallel fan-out: candidates run on a
+// worker pool, results fold back into out in strictly increasing index
+// order (accept runs on the collector goroutine only), and accounting
+// continues from whatever out already holds.
+func collectParallel(accept func(*scenario.RunView) bool, o Options, plan []paramTry, workers int, run runFunc, out *Outcome) *Outcome {
 	type candResult struct {
-		idx  int
-		view *scenario.RunView
+		idx    int
+		view   *scenario.RunView
+		steps  uint64
+		cycles uint64
 	}
 	idxCh := make(chan int)
 	resCh := make(chan candResult, workers)
@@ -293,9 +445,9 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				view := runCandidate(s, o, plan[i])
+				view, steps, cycles := run(plan[i])
 				select {
-				case resCh <- candResult{idx: i, view: view}:
+				case resCh <- candResult{idx: i, view: view, steps: steps, cycles: cycles}:
 				case <-stop:
 					return
 				}
@@ -305,8 +457,7 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 
 	// Collector: consume results in index order, calling accept exactly
 	// as the sequential search would — same candidates, same order.
-	out := &Outcome{}
-	pending := make(map[int]*scenario.RunView, workers)
+	pending := make(map[int]candResult, workers)
 	cursor := 0
 	for cursor < len(plan) {
 		if err := o.Ctx.Err(); err != nil {
@@ -316,11 +467,11 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 			out.Note = "search canceled"
 			return out
 		}
-		view, ok := pending[cursor]
+		cr, ok := pending[cursor]
 		if !ok {
 			select {
 			case r := <-resCh:
-				pending[r.idx] = r.view
+				pending[r.idx] = r
 			case <-o.Ctx.Done():
 				// Loop around to the cancellation path above.
 			}
@@ -329,10 +480,11 @@ func searchParallel(s *scenario.Scenario, accept func(*scenario.RunView) bool, o
 		delete(pending, cursor)
 		tokens <- struct{}{} // consumed one: let the feeder dispatch one more
 		pt := plan[cursor]
+		view := cr.view
 		cursor++
 		out.Attempts++
-		out.WorkCycles += view.Result.Cycles
-		out.WorkSteps += view.Result.Steps
+		out.WorkCycles += cr.cycles
+		out.WorkSteps += cr.steps
 		if accept(view) {
 			out.View = view
 			out.Ok = true

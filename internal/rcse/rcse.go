@@ -21,6 +21,14 @@
 // level per event, plus the baseline thread-schedule stream that RCSE
 // always keeps (§4: "recording just the data on control-plane channels and
 // the thread schedule").
+//
+// Replaying an RCSE recording re-synthesizes the unrecorded data plane by
+// search (replay.Replay, model debug-rcse). Because every candidate in
+// that search shares the recording's forced schedule and control inputs,
+// it benefits most from checkpoint-forked candidate execution
+// (infer.Forker, replay.Options.Fork): candidates re-execute only from
+// their first differing data-plane draw, and equivalent candidates are
+// pruned to zero work.
 package rcse
 
 import (

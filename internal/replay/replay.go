@@ -55,6 +55,33 @@ type Options struct {
 	// search uses them to visit its PCT candidates first. See
 	// infer.Options.Suspects for the bit-identity contract.
 	Suspects []sites.Suspect
+	// Fork enables checkpoint-forked candidate execution for every
+	// search-shaped model (output, failure, debug-rcse): candidates that
+	// share a prefix with an earlier candidate re-execute only their
+	// suffix from a snapshot, and equivalent candidates are pruned
+	// outright. Acceptance, Attempts and the replayed view are
+	// bit-identical to the from-scratch replay; only
+	// WorkCycles/WorkSteps shrink. See infer.Options.Fork.
+	Fork bool
+	// ForkInterval is the snapshot interval for forked execution
+	// (0 = checkpoint default; negative rejected).
+	ForkInterval int64
+	// ForkPaths bounds the forked prefix forest (0 = 8; negative
+	// rejected).
+	ForkPaths int
+}
+
+// Validate rejects out-of-domain option values, delegating the knobs
+// shared with the inference engine to infer.Options.Validate. Replay
+// calls it and surfaces the error through Result.Err.
+func (o Options) Validate() error {
+	return infer.Options{
+		Budget:       o.Budget,
+		Workers:      o.Workers,
+		Fork:         o.Fork,
+		ForkInterval: o.ForkInterval,
+		ForkPaths:    o.ForkPaths,
+	}.Validate()
 }
 
 // Result is a finished replay.
@@ -83,6 +110,9 @@ type Result struct {
 
 // Replay dispatches on the recording's model.
 func Replay(s *scenario.Scenario, rec *record.Recording, o Options) *Result {
+	if err := o.Validate(); err != nil {
+		return &Result{Note: "invalid options", Err: err}
+	}
 	if o.Ctx == nil {
 		o.Ctx = context.Background()
 	}
@@ -161,26 +191,57 @@ func replayRCSE(s *scenario.Scenario, rec *record.Recording, o Options) *Result 
 	if o.Budget < tries {
 		tries = o.Budget
 	}
+	// The tries share the complete forced schedule and all control-plane
+	// inputs, so they diverge only at data-plane draws — often not at all.
+	// Forked execution collapses that shared prefix: each try re-executes
+	// only from its first differing data-input value, and tries without
+	// data-plane draws are pruned to zero work.
+	var forker *infer.Forker
+	if o.Fork {
+		forker = infer.NewForker(infer.ForkerConfig{
+			Scenario:  s,
+			Interval:  uint64(o.ForkInterval),
+			MaxPaths:  o.ForkPaths,
+			MaxSteps:  o.MaxSteps,
+			RelaxTime: true,
+		})
+	}
 	for i := 0; i < tries; i++ {
 		if err := o.Ctx.Err(); err != nil {
 			res.Err = err
 			res.Note = "replay canceled"
 			return res
 		}
-		view := s.Exec(scenario.ExecOptions{
-			Seed:      rec.Seed,
-			Params:    rec.Params,
-			Scheduler: vm.NewReplayScheduler(rec.Sched),
-			Inputs: &vm.MapInputs{
+		searchSeed := o.SearchSeed + int64(i)
+		inputs := func() vm.InputSource {
+			return &vm.MapInputs{
 				Values: forced,
-				Base:   s.SearchSource(o.SearchSeed+int64(i), s.DefaultParams.Clone(rec.Params)),
-			},
-			MaxSteps:  o.MaxSteps,
-			RelaxTime: true,
-		})
+				Base:   s.SearchSource(searchSeed, s.DefaultParams.Clone(rec.Params)),
+			}
+		}
+		var view *scenario.RunView
+		var steps, cycles uint64
+		if forker != nil {
+			view, steps, cycles = forker.Run(infer.Candidate{
+				Seed:      rec.Seed,
+				Scheduler: func() vm.Scheduler { return vm.NewReplayScheduler(rec.Sched) },
+				Inputs:    inputs,
+				Params:    rec.Params,
+			})
+		} else {
+			view = s.Exec(scenario.ExecOptions{
+				Seed:      rec.Seed,
+				Params:    rec.Params,
+				Scheduler: vm.NewReplayScheduler(rec.Sched),
+				Inputs:    inputs(),
+				MaxSteps:  o.MaxSteps,
+				RelaxTime: true,
+			})
+			steps, cycles = view.Result.Steps, view.Result.Cycles
+		}
 		res.Attempts++
-		res.WorkCycles += view.Result.Cycles
-		res.WorkSteps += view.Result.Steps
+		res.WorkCycles += cycles
+		res.WorkSteps += steps
 		res.View = view
 		if view.Result.Outcome != vm.OutcomeDiverged && replayMatchesTerminal(s, rec, view) {
 			res.Ok = true
@@ -196,12 +257,15 @@ func replayOutput(s *scenario.Scenario, rec *record.Recording, o Options) *Resul
 	out := infer.Search(s, func(v *scenario.RunView) bool {
 		return outputsMatch(want, v)
 	}, infer.Options{
-		Ctx:      o.Ctx,
-		Budget:   o.Budget,
-		BaseSeed: o.SearchSeed,
-		Params:   rec.Params,
-		MaxSteps: o.MaxSteps,
-		Workers:  o.Workers,
+		Ctx:          o.Ctx,
+		Budget:       o.Budget,
+		BaseSeed:     o.SearchSeed,
+		Params:       rec.Params,
+		MaxSteps:     o.MaxSteps,
+		Workers:      o.Workers,
+		Fork:         o.Fork,
+		ForkInterval: o.ForkInterval,
+		ForkPaths:    o.ForkPaths,
 	})
 	return &Result{
 		View:       out.View,
@@ -232,6 +296,9 @@ func replayFailure(s *scenario.Scenario, rec *record.Recording, o Options) *Resu
 		MaxSteps:     o.MaxSteps,
 		Workers:      o.Workers,
 		Suspects:     o.Suspects,
+		Fork:         o.Fork,
+		ForkInterval: o.ForkInterval,
+		ForkPaths:    o.ForkPaths,
 	})
 	return &Result{
 		View:       out.View,

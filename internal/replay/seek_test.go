@@ -310,3 +310,101 @@ func TestDebuggerNavigation(t *testing.T) {
 		t.Fatal("not done at end of recording")
 	}
 }
+
+// TestSeekBoundaryTargets pins the edges of the seek target domain —
+// target 0, the exact last event, and targets past the end of the
+// recording — on both checkpointed and checkpoint-free recordings. Each
+// boundary must yield the exact recorded state (never a wrong snapshot)
+// and a clean completed replay, never a panic.
+func TestSeekBoundaryTargets(t *testing.T) {
+	s, err := workload.ByName("bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := checkpointedCorpusRecording(t, s)
+	if len(ckpt.Checkpoints) == 0 {
+		t.Fatalf("no checkpoints captured over %d events", ckpt.EventCount)
+	}
+	plain, _, err := record.Record(s, record.Perfect, s.DefaultSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := ckpt.EventCount
+	if plain.EventCount != end {
+		t.Fatalf("recordings disagree on length: %d vs %d events", plain.EventCount, end)
+	}
+
+	for _, tc := range []struct {
+		label  string
+		rec    *record.Recording
+		target uint64
+		pos    uint64
+	}{
+		{"checkpointed/zero", ckpt, 0, 0},
+		{"checkpointed/last", ckpt, end, end},
+		{"checkpointed/past-end", ckpt, end*2 + 1000, end},
+		{"plain/zero", plain, 0, 0},
+		{"plain/last", plain, end, end},
+		{"plain/past-end", plain, end*2 + 1000, end},
+	} {
+		sess, err := Seek(s, tc.rec, tc.target, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if sess.Pos() != tc.pos {
+			t.Fatalf("%s: positioned at %d, want %d", tc.label, sess.Pos(), tc.pos)
+		}
+		if sess.SuffixFrom > tc.pos {
+			t.Fatalf("%s: restored from %d, past the position %d (wrong snapshot)",
+				tc.label, sess.SuffixFrom, tc.pos)
+		}
+		if tc.target == 0 && sess.FromCheckpoint {
+			t.Fatalf("%s: target 0 used a checkpoint; no snapshot precedes event 0", tc.label)
+		}
+		if sess.ReplaySteps != tc.pos-sess.SuffixFrom {
+			t.Fatalf("%s: replayed %d events to cover %d..%d",
+				tc.label, sess.ReplaySteps, sess.SuffixFrom, tc.pos)
+		}
+		view, ok := sess.RunToEnd()
+		if !ok {
+			t.Fatalf("%s: replay not ok (outcome %s)", tc.label, view.Result.Outcome)
+		}
+		if view.Result.Steps != end {
+			t.Fatalf("%s: completed after %d steps, want %d", tc.label, view.Result.Steps, end)
+		}
+	}
+
+	// The debugger clamps out-of-range cursors instead of erroring: seeking
+	// or stepping past the end lands on the last event, and seeking back to
+	// 0 restores the initial state exactly.
+	d, err := NewDebugger(s, ckpt, DebugOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.SeekTo(end + 500); err != nil {
+		t.Fatalf("seek past end: %v", err)
+	}
+	if d.Pos() != end || !d.Done() {
+		t.Fatalf("seek past end stopped at %d (done=%v), want %d", d.Pos(), d.Done(), end)
+	}
+	if ev, ok := d.Event(); ok {
+		t.Fatalf("cursor at the end still reports event %v", ev)
+	}
+	if err := d.Step(7); err != nil {
+		t.Fatalf("step past end: %v", err)
+	}
+	if d.Pos() != end {
+		t.Fatalf("step past end moved the cursor to %d", d.Pos())
+	}
+	if err := d.SeekTo(0); err != nil {
+		t.Fatalf("seek to 0: %v", err)
+	}
+	if d.Pos() != 0 || d.Done() {
+		t.Fatalf("seek to 0 landed at %d (done=%v)", d.Pos(), d.Done())
+	}
+	ev, ok := d.Event()
+	if !ok || ev.Seq != 0 {
+		t.Fatalf("cursor at 0 reports event %v (ok=%v), want seq 0", ev, ok)
+	}
+}

@@ -157,15 +157,15 @@ func (d *Debugger) SeekTo(target uint64) error {
 }
 
 // bestSeq returns the largest seq ≤ target, mirroring checkpoint.Best
-// over bare positions.
+// over bare positions. Like Best, it makes no ordering assumption: store
+// implementations that merge snapshot sources may report checkpoint seqs
+// out of trace order.
 func bestSeq(seqs []uint64, target uint64) (uint64, bool) {
 	var best uint64
 	found := false
 	for _, q := range seqs {
-		if q <= target {
+		if q <= target && (!found || q > best) {
 			best, found = q, true
-		} else {
-			break
 		}
 	}
 	return best, found

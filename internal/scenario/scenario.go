@@ -170,6 +170,11 @@ type ExecOptions struct {
 	// Observers are attached before the run (recorders, monitors,
 	// detectors).
 	Observers []vm.Observer
+	// ObserverFactory constructs observers against the run's machine just
+	// before execution, for observers that need the machine at
+	// construction time (checkpoint writers). Its results are attached
+	// after Observers.
+	ObserverFactory func(*vm.Machine) []vm.Observer
 	// MaxSteps bounds the execution (0 = VM default).
 	MaxSteps uint64
 	// CollectTrace controls oracle-trace collection (default true; only
@@ -178,6 +183,11 @@ type ExecOptions struct {
 	// RelaxTime lifts time gates on sleeps and timeouts, required when a
 	// complete recorded schedule is being forced (see vm.Config.RelaxTime).
 	RelaxTime bool
+	// LogRounds keeps the machine's scheduling-round log (see
+	// vm.Config.LogRounds) — pure observation, read back through
+	// RunView.Machine.Rounds(). Forked search sets it on the executions
+	// it forks candidates from.
+	LogRounds bool
 }
 
 // Exec builds and runs the scenario once, returning the finished view.
@@ -194,10 +204,16 @@ func (s *Scenario) Exec(o ExecOptions) *RunView {
 		MaxSteps:     o.MaxSteps,
 		CollectTrace: !o.DisableTrace,
 		RelaxTime:    o.RelaxTime,
+		LogRounds:    o.LogRounds,
 	})
 	main := s.Build(m, p)
 	for _, obs := range o.Observers {
 		m.Attach(obs)
+	}
+	if o.ObserverFactory != nil {
+		for _, obs := range o.ObserverFactory(m) {
+			m.Attach(obs)
+		}
 	}
 	res := m.Run(main)
 	if res.Trace != nil {

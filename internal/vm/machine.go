@@ -73,6 +73,12 @@ type Config struct {
 	// test pins this); the switch exists for benchmarking the handoff
 	// cost and for debugging the VM itself.
 	DisableInline bool
+	// LogRounds makes the machine keep a log of every scheduling decision
+	// — (seq, enabled set, pick) per round; see SchedRound — readable via
+	// Rounds. Pure observation: the log perturbs neither the execution
+	// nor its virtual clock. Checkpoint-forked search enables it on the
+	// executions it forks candidates from.
+	LogRounds bool
 }
 
 // Result describes a finished execution.
@@ -177,6 +183,9 @@ type Machine struct {
 	diverged uint64
 
 	tr *trace.Log
+
+	// rounds is the scheduling-decision log (Config.LogRounds).
+	rounds []SchedRound
 
 	// enabledBuf is reused across scheduling rounds.
 	enabledBuf []*Thread
@@ -388,6 +397,9 @@ func (m *Machine) pickNext() *Thread {
 				})
 				m.diverged = m.seq
 				return nil
+			}
+			if m.cfg.LogRounds {
+				m.logRound(enabled, t)
 			}
 			return t
 		}

@@ -10,6 +10,12 @@ import (
 // nonempty and sorted by thread ID. Returning nil signals that the
 // scheduler cannot continue (replay divergence); the machine then stops
 // with OutcomeDiverged.
+//
+// A Pick must depend only on the scheduler's own state, m.Seq(), and the
+// IDs of the enabled threads — never on other machine or thread state.
+// Every built-in scheduler obeys this, and SchedSim relies on it: forked
+// search dry-runs schedulers over recorded rounds using fabricated
+// threads that carry nothing but their IDs.
 type Scheduler interface {
 	Name() string
 	Pick(m *Machine, enabled []*Thread) *Thread

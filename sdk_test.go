@@ -237,3 +237,44 @@ func TestBatchUnknownScenario(t *testing.T) {
 		t.Errorf("errCount=%d okCount=%d, want 1/1", errCount, okCount)
 	}
 }
+
+// TestSDKOptionValidation pins option validation at the public surface:
+// negative worker counts and fork knobs are rejected with a clear error
+// before any run executes, and the checkpoint-forked replay mode yields
+// an evaluation identical to the from-scratch one.
+func TestSDKOptionValidation(t *testing.T) {
+	eng := debugdet.New(debugdet.WithReplayBudget(80))
+	s := newTicketScenario()
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	model, err := debugdet.ParseModel("failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, o := range map[string]debugdet.Options{
+		"workers":       {Workers: -2},
+		"budget":        {ReplayBudget: -1},
+		"fork-interval": {ForkReplay: true, ForkInterval: -8},
+		"fork-paths":    {ForkReplay: true, ForkPaths: -1},
+	} {
+		if _, err := eng.Evaluate(ctx, s, model, o); err == nil {
+			t.Errorf("%s: negative knob accepted", name)
+		} else if !strings.Contains(err.Error(), "infer:") {
+			t.Errorf("%s: error %q does not identify the source", name, err)
+		}
+	}
+
+	base, err := eng.Evaluate(ctx, s, model, debugdet.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := eng.Evaluate(ctx, s, model, debugdet.Options{Workers: 1, ForkReplay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Summary() != forked.Summary() {
+		t.Errorf("forked evaluation differs:\nscratch: %s\nforked:  %s", base.Summary(), forked.Summary())
+	}
+}
